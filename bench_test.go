@@ -1,0 +1,188 @@
+package grp
+
+// The benchmark harness: one testing.B benchmark per experiment of the
+// evaluation (DESIGN.md §4). Each benchmark regenerates its table end to
+// end — workload generation, protocol execution, predicate checking — so
+// `go test -bench=.` both re-derives every reported number and measures
+// the cost of producing it. A reduced seed count keeps individual
+// iterations in the hundreds of milliseconds; cmd/grpexp runs the same
+// code with the full seed count.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+const benchSeeds = 2
+
+func BenchmarkE1Stabilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tb := experiments.E1Stabilization(benchSeeds); len(tb.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE2Agreement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tb := experiments.E2Agreement(benchSeeds); len(tb.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE4Maximality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tb := experiments.E4MergeGadgets(benchSeeds); len(tb.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE5Compatible(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tb := experiments.E5Compatibility(); len(tb.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE6Continuity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tb := experiments.E6Continuity(benchSeeds); len(tb.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE7Convergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a, c := experiments.E7Scaling(1)
+		if len(a.Rows) == 0 || len(c.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE8Lifetime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tb := experiments.E8Lifetime(1); len(tb.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE9Loss(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tb := experiments.E9Loss(1); len(tb.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE10Ablation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tb := experiments.E10Ablation(1); len(tb.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE11Overhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tb := experiments.E11Overhead(); len(tb.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE12Quarantine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tb := experiments.E12Quarantine(benchSeeds); len(tb.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE13Density(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tb := experiments.E13Density(1); len(tb.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// Micro-benchmarks of the protocol itself: the per-node cost of one
+// compute and one broadcast at steady state, which bounds what a real
+// deployment spends per Tc/Ts period.
+
+func benchSteadySim(b *testing.B, g *graph.G, dmax int) *sim.Sim {
+	b.Helper()
+	s := sim.NewStatic(sim.Params{Cfg: core.Config{Dmax: dmax}, Seed: 1}, g)
+	s.RunUntilConverged(400, 3)
+	return s
+}
+
+func BenchmarkNodeCompute(b *testing.B) {
+	s := benchSteadySim(b, graph.Line(10), 4)
+	n := s.Nodes[5]
+	msgs := []core.Message{
+		s.Nodes[NodeID(4)].BuildMessage(),
+		s.Nodes[NodeID(6)].BuildMessage(),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, m := range msgs {
+			n.Receive(m)
+		}
+		n.Compute()
+	}
+}
+
+func BenchmarkNodeBuildMessage(b *testing.B) {
+	s := benchSteadySim(b, graph.Line(10), 4)
+	n := s.Nodes[5]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := n.BuildMessage()
+		if m.From != 5 {
+			b.Fatal("bad message")
+		}
+	}
+}
+
+func BenchmarkSimRound100Nodes(b *testing.B) {
+	s := benchSteadySim(b, graph.Line(100), 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.StepRound()
+	}
+}
+
+func BenchmarkE8bHeadLoss(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tb := experiments.E8bHeadLoss(1); len(tb.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE14Stabilizers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tb := experiments.E14Stabilizers(1); len(tb.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE15Collision(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tb := experiments.E15Collision(1); len(tb.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Command grpexp regenerates the reproduction's experiment tables
+// (EXPERIMENTS.md): every table and figure-equivalent of the evaluation,
+// printed as aligned text (default), markdown or TSV.
+//
+// Usage:
+//
+//	grpexp [-format text|markdown|tsv] [-seeds N] [-only E6]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+func main() {
+	format := flag.String("format", "text", "output format: text, markdown or tsv")
+	seeds := flag.Int("seeds", experiments.Seeds, "seeds per configuration")
+	only := flag.String("only", "", "run only the experiment whose id matches (e.g. E6)")
+	flag.Parse()
+
+	type exp struct {
+		id  string
+		run func() []*trace.Table
+	}
+	suite := []exp{
+		{"E1", func() []*trace.Table { return []*trace.Table{experiments.E1Stabilization(*seeds)} }},
+		{"E2", func() []*trace.Table { return []*trace.Table{experiments.E2Agreement(*seeds)} }},
+		{"E4", func() []*trace.Table { return []*trace.Table{experiments.E4MergeGadgets(*seeds)} }},
+		{"E5", func() []*trace.Table { return []*trace.Table{experiments.E5Compatibility()} }},
+		{"E6", func() []*trace.Table { return []*trace.Table{experiments.E6Continuity(*seeds)} }},
+		{"E7", func() []*trace.Table {
+			a, b := experiments.E7Scaling(*seeds)
+			return []*trace.Table{a, b}
+		}},
+		{"E8", func() []*trace.Table {
+			return []*trace.Table{experiments.E8Lifetime(*seeds), experiments.E8bHeadLoss(*seeds)}
+		}},
+		{"E9", func() []*trace.Table { return []*trace.Table{experiments.E9Loss(*seeds)} }},
+		{"E10", func() []*trace.Table { return []*trace.Table{experiments.E10Ablation(*seeds)} }},
+		{"E11", func() []*trace.Table { return []*trace.Table{experiments.E11Overhead()} }},
+		{"E12", func() []*trace.Table { return []*trace.Table{experiments.E12Quarantine(*seeds)} }},
+		{"E13", func() []*trace.Table { return []*trace.Table{experiments.E13Density(*seeds)} }},
+		{"E14", func() []*trace.Table { return []*trace.Table{experiments.E14Stabilizers(*seeds)} }},
+		{"E15", func() []*trace.Table { return []*trace.Table{experiments.E15Collision(*seeds)} }},
+	}
+
+	ran := 0
+	for _, e := range suite {
+		if *only != "" && !strings.EqualFold(e.id, *only) {
+			continue
+		}
+		for _, tb := range e.run() {
+			var err error
+			switch *format {
+			case "markdown":
+				err = tb.WriteMarkdown(os.Stdout)
+			case "tsv":
+				err = tb.WriteTSV(os.Stdout)
+			default:
+				err = tb.WriteText(os.Stdout)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "grpexp:", err)
+				os.Exit(1)
+			}
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "grpexp: no experiment matches %q\n", *only)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,84 @@
+package antlist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/ident"
+)
+
+// Wire format (little endian):
+//
+//	u16 number of positions
+//	per position: u16 number of entries, then per entry u32 id, u8 mark
+//
+// The codec exists so the overhead experiments (E11) measure realistic
+// message sizes rather than in-memory struct sizes, and so the goroutine
+// runtime can exchange byte frames like a real radio would.
+
+var errTruncated = errors.New("antlist: truncated frame")
+
+// AppendBinary appends the wire encoding of the list to dst.
+func (l List) AppendBinary(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(l)))
+	for _, s := range l {
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(s)))
+		for _, e := range s {
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(e.ID))
+			dst = append(dst, byte(e.Mark))
+		}
+	}
+	return dst
+}
+
+// MarshalBinary encodes the list in the wire format.
+func (l List) MarshalBinary() ([]byte, error) {
+	return l.AppendBinary(nil), nil
+}
+
+// EncodedSize returns the wire size in bytes without encoding.
+func (l List) EncodedSize() int {
+	n := 2
+	for _, s := range l {
+		n += 2 + 5*len(s)
+	}
+	return n
+}
+
+// DecodeList decodes a list from the front of buf, returning the list and
+// the remaining bytes. Sets are re-sorted defensively so a hostile frame
+// cannot violate Set invariants.
+func DecodeList(buf []byte) (List, []byte, error) {
+	if len(buf) < 2 {
+		return nil, buf, errTruncated
+	}
+	np := int(binary.LittleEndian.Uint16(buf))
+	buf = buf[2:]
+	if np > 1<<12 {
+		return nil, buf, fmt.Errorf("antlist: implausible position count %d", np)
+	}
+	out := make(List, 0, np)
+	for p := 0; p < np; p++ {
+		if len(buf) < 2 {
+			return nil, buf, errTruncated
+		}
+		ne := int(binary.LittleEndian.Uint16(buf))
+		buf = buf[2:]
+		if len(buf) < 5*ne {
+			return nil, buf, errTruncated
+		}
+		s := make(Set, 0, ne)
+		for e := 0; e < ne; e++ {
+			id := ident.NodeID(binary.LittleEndian.Uint32(buf))
+			mark := ident.Mark(buf[4])
+			if mark > ident.MarkDouble {
+				return nil, buf, fmt.Errorf("antlist: bad mark %d", mark)
+			}
+			buf = buf[5:]
+			s = s.Add(ident.Entry{ID: id, Mark: mark})
+		}
+		out = append(out, s)
+	}
+	return out, buf, nil
+}

@@ -1,0 +1,214 @@
+package antlist
+
+import (
+	"strings"
+
+	"repro/internal/ident"
+)
+
+// List is an ordered list of ancestor sets (a0, a1, ..., ap). Position i
+// holds the nodes believed to be at distance i from the owner; a0 is the
+// owner singleton. The zero value is the empty list (malformed; real lists
+// always have at least a0).
+type List []Set
+
+// Singleton returns the one-element list (id), i.e. a freshly reset owner
+// list, with the given mark on the entry. The paper writes (u) for a
+// single-marked kept sender and (u̿) for a double-marked incompatible one.
+func Singleton(e ident.Entry) List { return List{Set{e}} }
+
+// Len returns the number of ancestor sets (s(list) in the paper's footnote:
+// number of elements). The last index — the paper's alternative reading of
+// s(), used by Prop. 13 — is Len()-1; see Ecc.
+func (l List) Len() int { return len(l) }
+
+// Ecc returns the eccentricity encoded by the list: the index of the last
+// ancestor set (p for a list (a0..ap)), or -1 for an empty list.
+func (l List) Ecc() int { return len(l) - 1 }
+
+// At returns the set at position i (list.i in the paper), or nil if out of
+// range.
+func (l List) At(i int) Set {
+	if i < 0 || i >= len(l) {
+		return nil
+	}
+	return l[i]
+}
+
+// Owner returns the node at position 0, or ident.None for malformed lists.
+func (l List) Owner() ident.NodeID {
+	if len(l) == 0 || len(l[0]) == 0 {
+		return ident.None
+	}
+	return l[0][0].ID
+}
+
+// Clone returns a deep copy of the list.
+func (l List) Clone() List {
+	if l == nil {
+		return nil
+	}
+	out := make(List, len(l))
+	for i, s := range l {
+		out[i] = s.Clone()
+	}
+	return out
+}
+
+// Position returns the smallest position at which id appears and the entry
+// there, or (-1, zero) if absent.
+func (l List) Position(id ident.NodeID) (int, ident.Entry) {
+	for i, s := range l {
+		if e, ok := s.Get(id); ok {
+			return i, e
+		}
+	}
+	return -1, ident.Entry{}
+}
+
+// Has reports whether id appears anywhere in the list, with any mark.
+func (l List) Has(id ident.NodeID) bool {
+	p, _ := l.Position(id)
+	return p >= 0
+}
+
+// IDs returns all node IDs in the list, position by position, ascending
+// within a position.
+func (l List) IDs() []ident.NodeID {
+	var out []ident.NodeID
+	for _, s := range l {
+		out = append(out, s.IDs()...)
+	}
+	return out
+}
+
+// NodeCount returns the total number of entries across all positions.
+func (l List) NodeCount() int {
+	n := 0
+	for _, s := range l {
+		n += len(s)
+	}
+	return n
+}
+
+// HasEmptySet reports whether any position holds an empty set (a malformed
+// list per the goodList test).
+func (l List) HasEmptySet() bool {
+	for _, s := range l {
+		if len(s) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// DeleteMarkedExcept returns the list with every marked entry removed,
+// except marked entries naming keep (the receiver applies this on
+// reception: marks are only meaningful between direct neighbors, but a mark
+// on the receiver itself is the handshake signal). Positions left empty are
+// resolved by Normalize.
+func (l List) DeleteMarkedExcept(keep ident.NodeID) List {
+	out := make(List, 0, len(l))
+	for _, s := range l {
+		out = append(out, s.Filter(func(e ident.Entry) bool {
+			return !e.Mark.Marked() || e.ID == keep
+		}))
+	}
+	return out.Normalize()
+}
+
+// Truncate returns the list cut to at most n positions (keeping a0..a(n-1)),
+// then normalized. Used by compute() line 28 to drop too-far ancestors.
+func (l List) Truncate(n int) List {
+	if len(l) <= n {
+		return l
+	}
+	out := make(List, n)
+	copy(out, l[:n])
+	return out.Normalize()
+}
+
+// Normalize enforces the List invariants:
+//   - each node appears only at its smallest position (strongest mark wins
+//     at that position, resolved by Set.Union during merges);
+//   - trailing empty sets are trimmed.
+//
+// Intermediate empty sets are kept in place: they can arise from corrupted
+// initial states or mark deletion, and removing or truncating them would
+// break the associativity of ⊕ (positions are distances; they must not
+// shift). The protocol handles them at reception instead — goodList rejects
+// any list containing an empty set, exactly as the paper specifies.
+func (l List) Normalize() List {
+	seen := make(map[ident.NodeID]bool, l.NodeCount())
+	out := make(List, 0, len(l))
+	for _, s := range l {
+		out = append(out, s.Filter(func(e ident.Entry) bool {
+			if seen[e.ID] {
+				return false
+			}
+			seen[e.ID] = true
+			return true
+		}))
+	}
+	for len(out) > 0 && len(out[len(out)-1]) == 0 {
+		out = out[:len(out)-1]
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// Merge is the ⊕ operator: position-wise union followed by normalization
+// (each node kept only at its smallest position, empty tail trimmed).
+func (l List) Merge(o List) List {
+	n := len(l)
+	if len(o) > n {
+		n = len(o)
+	}
+	out := make(List, n)
+	for i := 0; i < n; i++ {
+		out[i] = l.At(i).Union(o.At(i))
+	}
+	return out.Normalize()
+}
+
+// Shift is the r endomorphism: prepend an empty set, pushing every ancestor
+// one hop farther.
+func (l List) Shift() List {
+	out := make(List, 0, len(l)+1)
+	out = append(out, Set{})
+	out = append(out, l...)
+	return out
+}
+
+// Ant is the r-operator ant(l, o) = l ⊕ r(o): fold a neighbor's list into
+// the local one, at one hop more.
+func (l List) Ant(o List) List { return l.Merge(o.Shift()) }
+
+// Equal reports whether two lists are identical (positions, IDs and marks).
+func (l List) Equal(o List) bool {
+	if len(l) != len(o) {
+		return false
+	}
+	for i := range l {
+		if !l[i].Equal(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the list as ({n1},{n2,n3'},...).
+func (l List) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, s := range l {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(s.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}

@@ -1,0 +1,297 @@
+package antlist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ident"
+)
+
+// mk builds a list from groups of plain IDs: mk([]uint32{4}, []uint32{2,1})
+// = ({n4},{n1,n2}).
+func mk(layers ...[]uint32) List {
+	l := make(List, len(layers))
+	for i, layer := range layers {
+		s := Set{}
+		for _, v := range layer {
+			s = s.Add(ident.Plain(ident.NodeID(v)))
+		}
+		l[i] = s
+	}
+	return l
+}
+
+func TestPaperMergeExample(t *testing.T) {
+	// ({d},{b},{a,c}) ⊕ ({c},{a,e},{b}) = ({d,c},{b,a,e}) with
+	// a=1 b=2 c=3 d=4 e=5.
+	l1 := mk([]uint32{4}, []uint32{2}, []uint32{1, 3})
+	l2 := mk([]uint32{3}, []uint32{1, 5}, []uint32{2})
+	got := l1.Merge(l2)
+	want := mk([]uint32{3, 4}, []uint32{1, 2, 5})
+	if !got.Equal(want) {
+		t.Fatalf("Merge = %v, want %v", got, want)
+	}
+}
+
+func TestPaperShiftExample(t *testing.T) {
+	// r({d},{b},{a,c}) = (∅,{d},{b},{a,c})
+	l := mk([]uint32{4}, []uint32{2}, []uint32{1, 3})
+	got := l.Shift()
+	if got.Len() != 4 || len(got.At(0)) != 0 || !got.At(1).Has(4) {
+		t.Fatalf("Shift = %v", got)
+	}
+}
+
+func TestAntBasic(t *testing.T) {
+	// v=1 folds neighbor u=2's list ({2},{3}): gets ({1},{2},{3}).
+	v := Singleton(ident.Plain(1))
+	u := mk([]uint32{2}, []uint32{3})
+	got := v.Ant(u)
+	want := mk([]uint32{1}, []uint32{2}, []uint32{3})
+	if !got.Equal(want) {
+		t.Fatalf("Ant = %v, want %v", got, want)
+	}
+}
+
+func TestAntDedupKeepsSmallestPosition(t *testing.T) {
+	// v=1 already knows 3 at distance 1; neighbor 2 reports 3 at distance 1
+	// (would land at 2). 3 must stay at position 1 only.
+	v := mk([]uint32{1}, []uint32{3})
+	u := mk([]uint32{2}, []uint32{3})
+	got := v.Ant(u)
+	want := mk([]uint32{1}, []uint32{2, 3})
+	if !got.Equal(want) {
+		t.Fatalf("Ant = %v, want %v", got, want)
+	}
+}
+
+func TestAntSelfDedup(t *testing.T) {
+	// Neighbor reports v itself at distance 1; v stays at position 0.
+	v := Singleton(ident.Plain(1))
+	u := mk([]uint32{2}, []uint32{1})
+	got := v.Ant(u)
+	want := mk([]uint32{1}, []uint32{2})
+	if !got.Equal(want) {
+		t.Fatalf("Ant = %v, want %v", got, want)
+	}
+}
+
+func TestNormalizeTrimsTrailingEmpty(t *testing.T) {
+	l := List{NewSet(ident.Plain(1)), NewSet(ident.Plain(2)), Set{}}
+	got := l.Normalize()
+	if got.Len() != 2 {
+		t.Fatalf("Normalize = %v", got)
+	}
+}
+
+func TestNormalizeKeepsIntermediateEmpty(t *testing.T) {
+	// An empty middle layer is kept in place (positions are distances);
+	// goodList rejects such lists at reception instead.
+	l := List{NewSet(ident.Plain(1)), Set{}, NewSet(ident.Plain(2))}
+	got := l.Normalize()
+	if got.Len() != 3 || len(got.At(1)) != 0 || !got.At(2).Has(2) {
+		t.Fatalf("Normalize = %v", got)
+	}
+	if !got.HasEmptySet() {
+		t.Fatal("empty layer should survive for goodList to reject")
+	}
+}
+
+func TestNormalizeDedupEmptiesLayerInPlace(t *testing.T) {
+	// Layer 1 contains only a node already at layer 0: it empties but stays.
+	l := List{NewSet(ident.Plain(1), ident.Plain(2)), NewSet(ident.Plain(2)), NewSet(ident.Plain(3))}
+	got := l.Normalize()
+	if got.Len() != 3 || len(got.At(1)) != 0 || !got.At(2).Has(3) {
+		t.Fatalf("Normalize = %v", got)
+	}
+}
+
+func TestDeleteMarkedExcept(t *testing.T) {
+	l := List{
+		NewSet(ident.Plain(9)),
+		NewSet(ident.Single(1), ident.Plain(2), ident.Double(3)),
+	}
+	got := l.DeleteMarkedExcept(1)
+	if !got.At(1).Has(1) || !got.At(1).Has(2) || got.At(1).Has(3) {
+		t.Fatalf("DeleteMarkedExcept = %v", got)
+	}
+	got2 := l.DeleteMarkedExcept(7)
+	if got2.At(1).Has(1) || got2.At(1).Has(3) || !got2.At(1).Has(2) {
+		t.Fatalf("DeleteMarkedExcept(7) = %v", got2)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	l := mk([]uint32{1}, []uint32{2}, []uint32{3}, []uint32{4})
+	got := l.Truncate(2)
+	if got.Len() != 2 || got.Has(3) || got.Has(4) {
+		t.Fatalf("Truncate = %v", got)
+	}
+	if got2 := l.Truncate(10); !got2.Equal(l) {
+		t.Fatalf("Truncate beyond len changed list: %v", got2)
+	}
+}
+
+func TestPositionAndOwner(t *testing.T) {
+	l := mk([]uint32{7}, []uint32{2, 5}, []uint32{9})
+	if l.Owner() != 7 {
+		t.Fatalf("Owner = %v", l.Owner())
+	}
+	if p, _ := l.Position(5); p != 1 {
+		t.Fatalf("Position(5) = %d", p)
+	}
+	if p, _ := l.Position(42); p != -1 {
+		t.Fatalf("Position(42) = %d", p)
+	}
+	if List(nil).Owner() != ident.None {
+		t.Fatal("empty list owner should be None")
+	}
+}
+
+func TestHasEmptySet(t *testing.T) {
+	l := List{NewSet(ident.Plain(1)), Set{}}
+	if !l.HasEmptySet() {
+		t.Fatal("HasEmptySet should be true")
+	}
+	if mk([]uint32{1}).HasEmptySet() {
+		t.Fatal("HasEmptySet should be false")
+	}
+}
+
+func TestNodeCountAndIDs(t *testing.T) {
+	l := mk([]uint32{1}, []uint32{2, 3})
+	if l.NodeCount() != 3 {
+		t.Fatalf("NodeCount = %d", l.NodeCount())
+	}
+	ids := l.IDs()
+	if len(ids) != 3 || ids[0] != 1 || ids[1] != 2 || ids[2] != 3 {
+		t.Fatalf("IDs = %v", ids)
+	}
+}
+
+func randomList(r *rand.Rand) List {
+	depth := 1 + r.Intn(4)
+	l := make(List, 0, depth)
+	next := uint32(1)
+	for i := 0; i < depth; i++ {
+		n := 1 + r.Intn(3)
+		s := Set{}
+		for j := 0; j < n; j++ {
+			s = s.Add(ident.Entry{ID: ident.NodeID(next), Mark: ident.Mark(r.Intn(3))})
+			next++
+		}
+		l = append(l, s)
+	}
+	return l
+}
+
+func TestQuickMergeIdempotentCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		a, b := randomList(rr), randomList(rr)
+		if !a.Merge(a).Equal(a) {
+			return false
+		}
+		return a.Merge(b).Equal(b.Merge(a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMergeAssociative(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		a, b, c := randomList(rr), randomList(rr), randomList(rr)
+		return a.Merge(b).Merge(c).Equal(a.Merge(b.Merge(c)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAntStrictIdempotency(t *testing.T) {
+	// Strict idempotency of the r-operator: ant(l, x) absorbed again is a
+	// no-op — ant(ant(l,x), x) == ant(l,x).
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		l, x := randomList(rr), randomList(rr)
+		once := l.Ant(x)
+		return once.Ant(x).Equal(once)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickNormalizeInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		l := randomList(rr).Merge(randomList(rr))
+		// No duplicate IDs anywhere; no trailing empty layer.
+		seen := map[ident.NodeID]bool{}
+		for _, s := range l {
+			for _, e := range s {
+				if seen[e.ID] {
+					return false
+				}
+				seen[e.ID] = true
+			}
+		}
+		return len(l) == 0 || len(l[len(l)-1]) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	l := List{
+		NewSet(ident.Plain(1)),
+		NewSet(ident.Single(2), ident.Plain(3)),
+		NewSet(ident.Double(4)),
+	}
+	buf, err := l.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != l.EncodedSize() {
+		t.Fatalf("EncodedSize = %d, len = %d", l.EncodedSize(), len(buf))
+	}
+	got, rest, err := DecodeList(buf)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("DecodeList err=%v rest=%d", err, len(rest))
+	}
+	if !got.Equal(l) {
+		t.Fatalf("round trip = %v, want %v", got, l)
+	}
+}
+
+func TestCodecRejectsTruncatedAndBadMark(t *testing.T) {
+	l := mk([]uint32{1}, []uint32{2})
+	buf, _ := l.MarshalBinary()
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := DecodeList(buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	bad := append([]byte(nil), buf...)
+	bad[len(bad)-1] = 7 // mark byte of last entry
+	if _, _, err := DecodeList(bad); err == nil {
+		t.Fatal("bad mark accepted")
+	}
+}
+
+func TestQuickCodecRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		l := randomList(rr)
+		buf, _ := l.MarshalBinary()
+		got, rest, err := DecodeList(buf)
+		return err == nil && len(rest) == 0 && got.Equal(l)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,72 @@
+package baseline
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/ident"
+)
+
+// GreedyPartition is the centralized quality reference: it grows groups
+// greedily — repeatedly take the smallest unassigned node, BFS outward,
+// and absorb nodes while the group's induced diameter stays within dmax.
+// It is neither optimal nor distributed, but it gives a stable
+// "reasonable partition" yardstick for group counts and sizes.
+func GreedyPartition(g *graph.G, dmax int) map[ident.NodeID]map[ident.NodeID]bool {
+	assigned := make(map[ident.NodeID]bool)
+	views := make(map[ident.NodeID]map[ident.NodeID]bool)
+	for _, seed := range g.Nodes() {
+		if assigned[seed] {
+			continue
+		}
+		group := map[ident.NodeID]bool{seed: true}
+		assigned[seed] = true
+		frontier := []ident.NodeID{seed}
+		for len(frontier) > 0 {
+			v := frontier[0]
+			frontier = frontier[1:]
+			nbrs := g.Neighbors(v)
+			sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+			for _, u := range nbrs {
+				if assigned[u] {
+					continue
+				}
+				group[u] = true
+				if g.InducedDiameter(group) > dmax {
+					delete(group, u)
+					continue
+				}
+				assigned[u] = true
+				frontier = append(frontier, u)
+			}
+		}
+		for v := range group {
+			views[v] = group
+		}
+	}
+	return views
+}
+
+// PartitionGroups lists the distinct groups of a view assignment, sorted.
+func PartitionGroups(views map[ident.NodeID]map[ident.NodeID]bool) [][]ident.NodeID {
+	seen := make(map[ident.NodeID]bool)
+	var out [][]ident.NodeID
+	keys := make([]ident.NodeID, 0, len(views))
+	for v := range views {
+		keys = append(keys, v)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, v := range keys {
+		if seen[v] {
+			continue
+		}
+		var members []ident.NodeID
+		for u := range views[v] {
+			members = append(members, u)
+			seen[u] = true
+		}
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		out = append(out, members)
+	}
+	return out
+}

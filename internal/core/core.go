@@ -1,0 +1,927 @@
+// Package core implements the GRP distributed protocol of Ducourthial,
+// Khalfallah and Petit: the per-node state machine that maintains the
+// ordered list of ancestor sets with the ant r-operator, detects symmetric
+// links with the mark triple handshake, bounds group diameters by Dmax with
+// the compatibility test of Proposition 13, resolves merge overshoots with
+// priorities, and delays view admission with the quarantine.
+//
+// The package is pure protocol logic: it has no clocks, no radio and no
+// goroutines. A driver (internal/sim for deterministic experiments,
+// internal/runtime for a live goroutine deployment) calls
+//
+//	Receive(msg)    upon message reception,
+//	Compute()       at every Tc timer expiration (also resets the message
+//	                buffer, which is how neighbor departures are detected),
+//	BuildMessage()  at every Ts timer expiration (Ts ≤ Tc).
+//
+// The output used by applications is View: the composition of the node's
+// group.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/antlist"
+	"repro/internal/ident"
+	"repro/internal/priority"
+)
+
+// CompatMode selects the variant of the compatibility test (experiment
+// E10 ablates the optimized test against the naive one).
+type CompatMode int
+
+const (
+	// CompatFull is Proposition 13's test with the ∃i shortcut
+	// optimization (and the AND-corrected bound; see DESIGN.md §3).
+	CompatFull CompatMode = iota
+	// CompatNaiveSum accepts a merge only when the plain length sum fits:
+	// s(listv) + s(listu) ≤ Dmax + 1 (the i = 0 case only).
+	CompatNaiveSum
+)
+
+// Config carries the protocol parameters, fixed for a whole execution.
+type Config struct {
+	// Dmax is the application-chosen bound on group diameters.
+	Dmax int
+	// Compat selects the compatibility test variant. Default CompatFull.
+	Compat CompatMode
+	// DisableQuarantine turns the quarantine mechanism off (ablation E12);
+	// newcomers then enter views immediately.
+	DisableQuarantine bool
+	// BoundaryHold is how many computes a double-mark rejection of a
+	// neighbor is remembered (the boundary memory): during the hold the
+	// neighbor's lists are auto-rejected, which lets views consolidate
+	// behind a freshly cut boundary instead of re-flooding and re-cutting
+	// every other round. 0 selects the default Dmax+2; negative disables
+	// the memory entirely (ablation).
+	BoundaryHold int
+	// RejectDebounce is how many consecutive computes a neighbor must be
+	// found incompatible (by the compatibility test or a lost too-far
+	// contest) before the hard double-mark cut: transient detour-inflated
+	// positions during convergence would otherwise fire false contests
+	// whose cuts create more detours. During the debounce the sender's
+	// content is ignored gently (single mark). 0 selects the default 2;
+	// negative cuts immediately (ablation).
+	RejectDebounce int
+}
+
+// rejectDebounce resolves the configured debounce threshold.
+func (c Config) rejectDebounce() int {
+	switch {
+	case c.RejectDebounce < 0:
+		return 1
+	case c.RejectDebounce == 0:
+		return 2
+	default:
+		return c.RejectDebounce
+	}
+}
+
+// boundaryHold resolves the configured hold duration.
+func (c Config) boundaryHold() uint64 {
+	switch {
+	case c.BoundaryHold < 0:
+		return 0
+	case c.BoundaryHold == 0:
+		return uint64(c.Dmax) + 2
+	default:
+		return uint64(c.BoundaryHold)
+	}
+}
+
+// Message is one GRP broadcast: the sender's ordered list of ancestor
+// sets with, for every node appearing in it, that node's priority and the
+// priority of its group as known by the sender (the paper sends "listv
+// with priorities"; per-entry group priorities are how "group priorities
+// are compared" across several hops — see DESIGN.md §3).
+type Message struct {
+	From       ident.NodeID
+	List       antlist.List
+	Prios      map[ident.NodeID]priority.P
+	GroupPrios map[ident.NodeID]priority.P
+	GroupPrio  priority.P
+	// Quars carries the remaining quarantine of the sender's not-yet
+	// admitted entries. Receivers inherit the smallest value they hear,
+	// so a newcomer's countdown finishes at (nearly) the same round on
+	// every member — the paper's "the new node progresses in the group"
+	// — and the whole group admits it into views simultaneously. Without
+	// inheritance each member would start its own Dmax countdown one hop
+	// later than the previous one, views would grow at staggered rounds,
+	// and every merge would transiently break agreement (a raw ΠC
+	// violation the best-effort contract does not allow).
+	Quars map[ident.NodeID]int
+}
+
+// EncodedSize returns the wire size of the message in bytes (frame header
+// + list + two priority records per listed node + group priority), used by
+// the overhead experiment.
+func (m Message) EncodedSize() int {
+	// from(4) + groupPrio(12) + list + 12 bytes per priority record +
+	// 5 bytes per quarantine record.
+	return 4 + 12 + m.List.EncodedSize() + 12*len(m.Prios) + 12*len(m.GroupPrios) + 5*len(m.Quars)
+}
+
+// Node is the GRP state of one network node.
+type Node struct {
+	cfg Config
+	id  ident.NodeID
+
+	// Tracer, when non-nil, receives a line per protocol decision
+	// (list checks, rejections, contests). Intended for debugging and
+	// the simulator's verbose mode; nil costs nothing.
+	Tracer func(format string, args ...interface{})
+
+	list     antlist.List
+	view     map[ident.NodeID]bool
+	quar     map[ident.NodeID]int
+	prios    map[ident.NodeID]priority.P
+	gprs     map[ident.NodeID]priority.P
+	self     priority.P
+	group    priority.P
+	msgSet   map[ident.NodeID]Message
+	rejected map[ident.NodeID]uint64 // boundary memory: sender → expiry compute
+	streak   map[ident.NodeID]int    // consecutive incompatibility observations
+	synced   bool                    // one-time clock sync at first contact done
+
+	computes uint64
+}
+
+// NewNode returns a freshly booted node: alone in its list and view, clock
+// zero.
+func NewNode(id ident.NodeID, cfg Config) *Node {
+	if cfg.Dmax < 1 {
+		panic(fmt.Sprintf("core: Dmax must be ≥ 1, got %d", cfg.Dmax))
+	}
+	n := &Node{
+		cfg:      cfg,
+		id:       id,
+		list:     antlist.Singleton(ident.Plain(id)),
+		view:     map[ident.NodeID]bool{id: true},
+		quar:     map[ident.NodeID]int{id: 0},
+		prios:    map[ident.NodeID]priority.P{id: priority.New(id)},
+		gprs:     map[ident.NodeID]priority.P{id: priority.New(id)},
+		self:     priority.New(id),
+		msgSet:   make(map[ident.NodeID]Message),
+		rejected: make(map[ident.NodeID]uint64),
+		streak:   make(map[ident.NodeID]int),
+	}
+	n.group = n.self
+	return n
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() ident.NodeID { return n.id }
+
+// Config returns the node's configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// List returns the current ordered list of ancestor sets (a copy).
+func (n *Node) List() antlist.List { return n.list.Clone() }
+
+// View returns the group composition as seen by this node, ascending.
+// This is the protocol's output, the view_v the applications use.
+func (n *Node) View() []ident.NodeID {
+	out := make([]ident.NodeID, 0, len(n.view))
+	for v := range n.view {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ViewSet returns the view as a set (a copy).
+func (n *Node) ViewSet() map[ident.NodeID]bool {
+	out := make(map[ident.NodeID]bool, len(n.view))
+	for v := range n.view {
+		out[v] = true
+	}
+	return out
+}
+
+// InView reports whether u is currently in the node's view.
+func (n *Node) InView(u ident.NodeID) bool { return n.view[u] }
+
+// Priority returns the node's own priority.
+func (n *Node) Priority() priority.P { return n.self }
+
+// GroupPriority returns the node's group priority (min over its view).
+func (n *Node) GroupPriority() priority.P { return n.group }
+
+// Computes returns the number of Compute calls so far (the protocol's
+// logical time on this node).
+func (n *Node) Computes() uint64 { return n.computes }
+
+// QuarantineOf returns the remaining quarantine of u, or -1 when u is not
+// tracked (absent or marked in the list).
+func (n *Node) QuarantineOf(u ident.NodeID) int {
+	if q, ok := n.quar[u]; ok {
+		return q
+	}
+	return -1
+}
+
+// LoadState overwrites the node's protocol state. It exists for the
+// self-stabilization experiments, which must start executions from
+// arbitrary (corrupted) configurations; the protocol never calls it.
+// Nil maps leave the corresponding field at a consistent default derived
+// from the list.
+func (n *Node) LoadState(list antlist.List, view map[ident.NodeID]bool, quar map[ident.NodeID]int, self priority.P) {
+	n.list = list.Clone()
+	if view != nil {
+		n.view = view
+	} else {
+		n.view = map[ident.NodeID]bool{n.id: true}
+	}
+	if quar != nil {
+		n.quar = quar
+	} else {
+		n.quar = map[ident.NodeID]int{n.id: 0}
+		for _, u := range list.IDs() {
+			n.quar[u] = 0
+		}
+	}
+	n.self = self
+	n.prios = map[ident.NodeID]priority.P{n.id: self}
+	n.gprs = map[ident.NodeID]priority.P{n.id: self}
+	n.group = self
+	n.rejected = make(map[ident.NodeID]uint64)
+	n.streak = make(map[ident.NodeID]int)
+	n.synced = true
+}
+
+// Receive stores a neighbor's message. Only the last message per sender is
+// kept (one-message channel); self-messages are ignored.
+func (n *Node) Receive(m Message) {
+	if m.From == n.id || m.From == ident.None {
+		return
+	}
+	n.msgSet[m.From] = m
+}
+
+// PendingMessages returns how many distinct senders are buffered (used by
+// drivers and tests).
+func (n *Node) PendingMessages() int { return len(n.msgSet) }
+
+// BuildMessage assembles the broadcast for the Ts timer: the current list
+// with the priorities of every node in it and the group priority.
+func (n *Node) BuildMessage() Message {
+	prios := make(map[ident.NodeID]priority.P)
+	gprios := make(map[ident.NodeID]priority.P)
+	for _, u := range n.list.IDs() {
+		if p, ok := n.prios[u]; ok {
+			prios[u] = p
+		} else {
+			prios[u] = priority.Infinite
+		}
+		switch {
+		case n.view[u]:
+			gprios[u] = n.group
+		default:
+			if g, ok := n.gprs[u]; ok {
+				gprios[u] = g
+			} else {
+				gprios[u] = prios[u]
+			}
+		}
+	}
+	prios[n.id] = n.self
+	gprios[n.id] = n.group
+	quars := make(map[ident.NodeID]int)
+	for u, q := range n.quar {
+		if q > 0 {
+			quars[u] = q
+		}
+	}
+	return Message{
+		From:       n.id,
+		List:       n.list.Clone(),
+		Prios:      prios,
+		GroupPrios: gprios,
+		GroupPrio:  n.group,
+		Quars:      quars,
+	}
+}
+
+// incoming is one checked entry of the message set during a computation.
+type incoming struct {
+	list antlist.List
+	msg  Message
+}
+
+// Compute runs procedure compute() of §4.3 and then resets the message
+// buffer (line 5 of the main algorithm).
+func (n *Node) Compute() {
+	n.computes++
+	dmax := n.cfg.Dmax
+
+	// Check order is a stable preference order, not plain ID order: view
+	// members first (their lists are never subject to the compatibility
+	// test), then senders by their advertised group priority (oldest
+	// first), then by ID. The first compatible content a node folds is
+	// what it commits to for the round, so this order makes every
+	// uncommitted node side with the *oldest* adjacent group — the same
+	// greedy accretion the maximality proof (Prop. 11) reasons about —
+	// instead of an arbitrary choice that can flip between rounds and
+	// keep the network in metastable partitions. The fold itself (⊕) is
+	// order-independent.
+	senders := make([]ident.NodeID, 0, len(n.msgSet))
+	for u := range n.msgSet {
+		senders = append(senders, u)
+	}
+	sort.Slice(senders, func(i, j int) bool {
+		a, b := senders[i], senders[j]
+		av, bv := n.view[a], n.view[b]
+		if av != bv {
+			return av
+		}
+		ag, bg := n.msgSet[a].GroupPrio, n.msgSet[b].GroupPrio
+		if ag != bg {
+			return ag.Less(bg)
+		}
+		return a < b
+	})
+
+	// Expire boundary memory.
+	for u, exp := range n.rejected {
+		if n.computes > exp {
+			delete(n.rejected, u)
+		}
+	}
+
+	// Lines 1–9 fused with 10–13: check the received lists in
+	// deterministic sender order while building the fold incrementally.
+	// Each compatibility test sees the partial fold, so content already
+	// committed from earlier senders is protected against later
+	// incompatible senders — this is what lets a lone node bridging two
+	// far-apart groups side with one of them instead of absorbing both
+	// and being punished by each in turn.
+	work := make(map[ident.NodeID]*incoming, len(senders))
+	partial := antlist.Singleton(ident.Plain(n.id))
+	for _, u := range senders {
+		msg := n.msgSet[u]
+		lu := n.cleanReceived(msg.List)
+		switch {
+		case n.rejected[u] != 0:
+			// Boundary memory: the sender was recently rejected as
+			// incompatible; hold the boundary while views consolidate.
+			lu = antlist.Singleton(ident.Double(u))
+			n.trace("hold %v until c%d", u, n.rejected[u])
+		case !n.goodList(u, lu):
+			// Line 4: the list is ignored but the sender is kept
+			// (single mark: asymmetric / unconfirmed link). Not evidence
+			// of incompatibility: the streak is left alone.
+			lu = antlist.Singleton(ident.Single(u))
+			n.trace("notgood %v: %v", u, msg.List)
+		case !n.view[u]:
+			qsafe, ok := n.safePrefix(u, partial, lu)
+			if !ok || qsafe < foreignDepth(n, lu) {
+				// Line 7: u is denoted as an incompatible neighbor
+				// (after the debounce; see escalate).
+				n.trace("incompat %v: cleaned=%v partial=%v list=%v", u, lu, partial, n.list)
+				lu = n.escalate(u)
+			} else {
+				n.streak[u] = 0
+			}
+		default:
+			n.streak[u] = 0
+		}
+		work[u] = &incoming{list: lu, msg: msg}
+		partial = partial.Ant(lu)
+	}
+
+	// Lines 10–13: the fold of the checked lists (built above).
+	newList := holeTruncate(partial)
+
+	// Lines 14–29: removal of incoming lists containing too-far nodes.
+	if newList.Len() > dmax+1 {
+		for _, w := range newList.At(dmax + 1) {
+			if w.Mark.Marked() {
+				continue // marks never travel that far; defensive
+			}
+			if n.farNodeHasPriority(w.ID, work) {
+				for _, u := range senders {
+					inc := work[u]
+					if pos, _ := inc.list.Position(w.ID); pos == dmax {
+						// Line 19: the neighbor that provided w is
+						// ignored (after the debounce; see escalate).
+						work[u] = &incoming{list: n.escalate(u), msg: inc.msg}
+						n.trace("contest lost to %v: drop provider %v (streak %d)", w.ID, u, n.streak[u])
+					}
+				}
+			} else {
+				n.trace("contest won against %v: truncate", w.ID)
+			}
+		}
+		newList = n.fold(senders, work)
+		// Line 28: remaining too-far nodes did not have the priority.
+		newList = newList.Truncate(dmax + 1)
+	}
+
+	// Learn priorities for the nodes we now track.
+	n.learnPriorities(newList, work)
+
+	// Line 30: update quarantines. The quarantine clock of a node starts
+	// when it first appears *plain* (marked entries are not propagated, so
+	// the group learns about the newcomer only from then on).
+	if !n.cfg.DisableQuarantine {
+		// The smallest remaining quarantine heard per node this round
+		// (inheritance; see Message.Quars), plus the reverse direction:
+		// when a sender's message says *our* remaining quarantine is k,
+		// the join completes in k rounds — so our own countdown for the
+		// sender's already-admitted members (entries it lists without a
+		// quarantine) syncs to the same k, and both sides' views flip in
+		// the same round.
+		heard := make(map[ident.NodeID]int)
+		for _, u := range senders {
+			msg := work[u].msg
+			for id, q := range msg.Quars {
+				if cur, ok := heard[id]; !ok || q < cur {
+					heard[id] = q
+				}
+			}
+			if k, ok := msg.Quars[n.id]; ok {
+				for _, s := range msg.List {
+					for _, e := range s {
+						if e.Mark.Marked() || e.ID == n.id {
+							continue
+						}
+						if _, quarantined := msg.Quars[e.ID]; quarantined {
+							continue
+						}
+						if cur, known := heard[e.ID]; !known || k < cur {
+							heard[e.ID] = k
+						}
+					}
+				}
+			}
+		}
+		nq := make(map[ident.NodeID]int, newList.NodeCount())
+		for _, s := range newList {
+			for _, e := range s {
+				if e.Mark.Marked() {
+					continue
+				}
+				q, known := n.quar[e.ID]
+				if !known {
+					q = dmax
+				} else if q > 0 {
+					q--
+				}
+				// The heard value was sampled before the peer's own
+				// decrement this round; inherit h-1 so both countdowns
+				// hit zero in the same round.
+				if h, ok := heard[e.ID]; ok && h-1 < q {
+					q = h - 1
+					if q < 0 {
+						q = 0
+					}
+				}
+				nq[e.ID] = q
+			}
+		}
+		nq[n.id] = 0
+		n.quar = nq
+	} else {
+		n.quar = map[ident.NodeID]int{n.id: 0}
+		for _, u := range newList.IDs() {
+			n.quar[u] = 0
+		}
+	}
+
+	// Line 31: the view is the plain-marked nodes with null quarantine.
+	nv := make(map[ident.NodeID]bool)
+	for _, s := range newList {
+		for _, e := range s {
+			if !e.Mark.Marked() && n.quar[e.ID] == 0 {
+				nv[e.ID] = true
+			}
+		}
+	}
+	nv[n.id] = true
+
+	// Line 32: priorities increase only while the node is not in a group.
+	// "Not in a group" is read as *hearing nobody*: the clock ages while
+	// the node is truly isolated and freezes from its first contact with
+	// other nodes (with a one-time Lamport jump past every clock heard, so
+	// a late arrival ranks below the nodes already there). The paper
+	// freezes only on view membership; freezing already on contact is
+	// required for the contests to terminate — a clock that keeps growing
+	// during merge negotiation is seen by the far endpoint lagged by up to
+	// Dmax relay hops, so two negotiating lone nodes each observe the
+	// other as older, both retreat, and the race re-runs forever. Frozen
+	// clocks relay without skew and keep every contest's outcome
+	// consistent at both ends. The join-order property the paper wants
+	// ("the last entered nodes have less priority") is preserved: a
+	// member's frozen clock records when it arrived.
+	if len(nv) <= 1 {
+		switch {
+		case len(senders) == 0:
+			n.self = n.self.Tick()
+		case !n.synced:
+			base := n.self.Clock
+			for _, u := range senders {
+				for _, p := range work[u].msg.Prios {
+					if !p.IsInfinite() && p.Clock > base {
+						base = p.Clock
+					}
+				}
+			}
+			n.self = priority.P{Clock: base + 1, ID: n.id}
+			n.synced = true
+		}
+	}
+	n.prios[n.id] = n.self
+
+	n.list = newList
+	n.view = nv
+
+	// Group priority: the smallest priority of the view's members.
+	gp := n.self
+	for u := range nv {
+		if p, ok := n.prios[u]; ok {
+			gp = gp.Min(p)
+		}
+	}
+	n.group = gp
+
+	// Line 5 of the main algorithm: reset msgSet to detect departures.
+	n.msgSet = make(map[ident.NodeID]Message)
+}
+
+// escalate records one incompatibility observation against sender u and
+// returns the replacement for its list: a gentle single-mark singleton
+// while the observation streak is below the debounce threshold (transient
+// detour-inflated positions during convergence fire false contests; a
+// soft ignore does not reset the neighbor's handshake), and the hard
+// double-mark cut once the incompatibility persists.
+func (n *Node) escalate(u ident.NodeID) antlist.List {
+	n.streak[u]++
+	if n.streak[u] < n.cfg.rejectDebounce() {
+		return antlist.Singleton(ident.Single(u))
+	}
+	n.streak[u] = 0
+	n.reject(u)
+	return antlist.Singleton(ident.Double(u))
+}
+
+// foreignDepth returns the deepest position in lu holding a plain entry
+// that is neither this node nor one of its view members — the q of the
+// compatibility bound.
+func foreignDepth(n *Node, lu antlist.List) int {
+	q := 0
+	for i, s := range lu {
+		for _, e := range s {
+			if !e.Mark.Marked() && e.ID != n.id && !n.view[e.ID] {
+				q = i
+				break
+			}
+		}
+	}
+	return q
+}
+
+// trace emits a debugging line when a Tracer is installed.
+func (n *Node) trace(format string, args ...interface{}) {
+	if n.Tracer != nil {
+		n.Tracer(format, args...)
+	}
+}
+
+// reject records a double-mark decision against sender u in the boundary
+// memory. The hold duration is the configured base plus a deterministic
+// jitter derived from (node, neighbor, episode): with a uniform hold,
+// every boundary in a symmetric region expires in lockstep, all frontier
+// nodes re-probe in the same round, their lists bloat with content from
+// several sides at once, everyone re-rejects, and the network cycles
+// periodically without ever converging. Staggered expiries let one merge
+// consolidate before the next probe arrives.
+func (n *Node) reject(u ident.NodeID) {
+	hold := n.cfg.boundaryHold()
+	if hold == 0 {
+		return
+	}
+	h := uint64(14695981039346656037)
+	for _, x := range [...]uint64{uint64(n.id), uint64(u), n.computes} {
+		h = (h ^ x) * 1099511628211
+	}
+	n.rejected[u] = n.computes + hold + h%(hold+1)
+}
+
+// cleanReceived applies line 2: delete marked nodes, except a
+// *single-marked* self entry — that is the handshake signal ("v or v̄ in
+// list.1" makes the list good). A double-marked self entry is a rejection
+// by the sender and is deleted too, so that the good-list test fails and
+// the rejection is symmetric (Proposition 3's reading: after line 2 the
+// double-marked node no longer appears in the list it received).
+func (n *Node) cleanReceived(l antlist.List) antlist.List {
+	out := make(antlist.List, 0, len(l))
+	for _, s := range l {
+		out = append(out, s.Filter(func(e ident.Entry) bool {
+			return !e.Mark.Marked() || (e.ID == n.id && e.Mark == ident.MarkSingle)
+		}))
+	}
+	return out.Normalize()
+}
+
+// goodList is the test of §4.3: the receiver (plain or single-marked)
+// appears among the sender's distance-1 ancestors, the list is not longer
+// than Dmax+1, contains no empty set, and is owned by the sender.
+func (n *Node) goodList(from ident.NodeID, l antlist.List) bool {
+	if l.Len() < 2 || l.Len() > n.cfg.Dmax+1 {
+		return false
+	}
+	if l.Owner() != from || len(l.At(0)) != 1 {
+		return false
+	}
+	if l.HasEmptySet() {
+		return false
+	}
+	return l.At(1).Has(n.id)
+}
+
+// safePrefix evaluates the compatibleList test of Proposition 13 and
+// returns the deepest prefix of the sender's list that can be folded
+// without endangering the content this node must protect. It returns
+// (qsafe, true) when at least the sender itself fits (fold positions
+// 0..qsafe of its list), and (0, false) when even that would break the
+// bound — the genuine incompatibility that cuts a boundary.
+//
+// Returning a prefix instead of a boolean is how the test stays both
+// safe and optimistic (see DESIGN.md §3): the paper's own Function is
+// deliberately loose (an OR of two bounds), which admits merges that
+// overshoot and must be repaired by contests; a strict bound alone
+// instead vetoes legal merges whose members are pairwise close through
+// edges the list representation cannot see (a clique under small Dmax
+// stalls forever). Folding the provably safe prefix takes the safe part
+// now; genuinely close tail nodes arrive later through closer paths.
+//
+// The protected content p combines two scans:
+//   - the deepest current view member in our previous list (the
+//     established group);
+//   - the deepest plain entry of this computation's partial fold that is
+//     absent from the sender's own list (candidates committed from other
+//     sides this round — without protecting those, a lone node bridging
+//     two far groups absorbs both and is punished by each in turn).
+//
+// Marked entries and the sender's own echoed content are not ours to
+// protect. Only content at depth k ≥ 1 is protected: an overshoot landing
+// at the evaluating node itself resolves locally through the too-far
+// contest (winner truncates, loser double-marks the cross-border sender),
+// which is how concurrent merge races are arbitrated by priorities.
+//
+// For protected content at depth k, a foreign node at depth l is
+// reachable via the border edge (k+1+l hops) or via a witness level i all
+// of whose plain entries neighbor the sender (|k-i|+1+l hops), so level i
+// supports foreign depth q_i = Dmax - 1 - max_{k in [1..p]} min(k,|k-i|).
+func (n *Node) safePrefix(from ident.NodeID, partial antlist.List, lu antlist.List) (int, bool) {
+	dmax := n.cfg.Dmax
+	p := 0 // deepest protected content
+	for i, s := range n.list {
+		for _, e := range s {
+			if !e.Mark.Marked() && n.view[e.ID] {
+				p = i
+				break
+			}
+		}
+	}
+	for i, s := range partial {
+		if i <= p {
+			continue
+		}
+		for _, e := range s {
+			if !e.Mark.Marked() && e.ID != n.id && !lu.Has(e.ID) {
+				p = i
+				break
+			}
+		}
+	}
+	if p == 0 {
+		// Nothing committed behind us: any contest lands at us and is
+		// locally resolvable.
+		return lu.Ecc(), true
+	}
+	b1 := lu.At(1) // the sender's direct neighbors
+	maxI := p
+	if n.cfg.Compat == CompatNaiveSum {
+		maxI = 0
+	}
+	best := -1
+	for i := 0; i <= maxI; i++ {
+		// The witness layer keeps plain entries only: the BFS path of a
+		// plain member necessarily crosses plain relays (marked entries
+		// are never propagated, so nothing sits behind them), and a
+		// marked boundary neighbor in our layer must not veto the subset
+		// test. The sender itself is excluded too — mid-merge it already
+		// appears in our layer 1, and it cannot be required to be its
+		// own neighbor.
+		ai := n.list.At(i).Union(partial.At(i)).Filter(func(e ident.Entry) bool {
+			return !e.Mark.Marked() && e.ID != from
+		})
+		if i > 0 && (len(ai) == 0 || !ai.SubsetIDs(b1)) {
+			continue // no witness v' for the shortcut at this level
+		}
+		worst := 0
+		for k := 1; k <= p; k++ {
+			d := k
+			if abs(k-i) < d {
+				d = abs(k - i)
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+		if qi := dmax - 1 - worst; qi > best {
+			best = qi
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// farNodeHasPriority decides line 16: does the too-far node w win against
+// this node? Inside the same group, node priorities are compared; across
+// groups this is a merge conflict and the *groups of the two contested
+// endpoints* are compared (that is what breaks loops of groups willing to
+// merge consistently at both ends — intermediary nodes' priorities never
+// enter), falling back to node priorities when the group priorities tie.
+func (n *Node) farNodeHasPriority(w ident.NodeID, work map[ident.NodeID]*incoming) bool {
+	wNode := n.lookupPriority(w, work)
+	if n.view[w] {
+		return wNode.Less(n.self)
+	}
+	wGroup := n.lookupGroupPriority(w, work).Min(wNode)
+	switch {
+	case wGroup.Less(n.group):
+		return true
+	case n.group.Less(wGroup):
+		return false
+	default:
+		return wNode.Less(n.self)
+	}
+}
+
+// lookupPriority finds the freshest priority known for u. Clocks are
+// monotone, so the freshest advertisement is the largest; the local cache
+// fills in when no message mentions u this round.
+func (n *Node) lookupPriority(u ident.NodeID, work map[ident.NodeID]*incoming) priority.P {
+	best, found := priority.Infinite, false
+	for _, inc := range work {
+		if p, ok := inc.msg.Prios[u]; ok {
+			if !found || best.Less(p) {
+				best, found = p, true
+			}
+		}
+	}
+	if !found {
+		if p, ok := n.prios[u]; ok {
+			return p
+		}
+	}
+	return best
+}
+
+// lookupGroupPriority finds the freshest known priority of u's group: the
+// value relayed by the provider knowing u at the smallest position (the
+// shortest witness chain), else the local cache, else Infinite (the caller
+// caps it with u's own node priority, which upper-bounds its group's).
+func (n *Node) lookupGroupPriority(u ident.NodeID, work map[ident.NodeID]*incoming) priority.P {
+	best, bestPos := priority.Infinite, -1
+	ids := make([]ident.NodeID, 0, len(work))
+	for s := range work {
+		ids = append(ids, s)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, s := range ids {
+		inc := work[s]
+		p, ok := inc.msg.GroupPrios[u]
+		if !ok {
+			continue
+		}
+		pos, _ := inc.msg.List.Position(u)
+		if pos < 0 {
+			continue
+		}
+		if bestPos < 0 || pos < bestPos {
+			best, bestPos = p, pos
+		}
+	}
+	if bestPos < 0 {
+		if p, ok := n.gprs[u]; ok {
+			return p
+		}
+	}
+	return best
+}
+
+// fold runs lines 24–27: listv ← (v), then ant over the checked incoming
+// lists in deterministic order, with hole truncation.
+func (n *Node) fold(senders []ident.NodeID, work map[ident.NodeID]*incoming) antlist.List {
+	out := antlist.Singleton(ident.Plain(n.id))
+	for _, u := range senders {
+		out = out.Ant(work[u].list)
+	}
+	return holeTruncate(out)
+}
+
+// holeTruncate cuts a fold at its first empty layer: a hole means no
+// witnessed relay exists at that distance (the entries there were all
+// marked or deduplicated away), so anything beyond it is unreachable
+// garbage, and a list containing an empty set would be rejected wholesale
+// by every receiver's goodList anyway. The cut happens once, on final
+// folds — inside ⊕ it would break the operator's associativity.
+func holeTruncate(l antlist.List) antlist.List {
+	for i, s := range l {
+		if len(s) == 0 {
+			return l.Truncate(i)
+		}
+	}
+	return l
+}
+
+// learnPriorities refreshes the local node- and group-priority caches for
+// every node of the new list from this round's messages, and prunes
+// entries for nodes no longer tracked. Freshness rules matter:
+//
+//   - A node's clock is monotone non-decreasing (it ticks while alone and
+//     freezes in a group), so the freshest advertised node priority is the
+//     *largest* one. Taking a minimum would resurrect stale small clocks
+//     forever.
+//   - Group priorities are not monotone (merges lower them, splits raise
+//     them), so "largest" is meaningless; instead the value is taken from
+//     the provider that knows the node at the smallest list position — the
+//     shortest witness chain back to the node's own authoritative
+//     advertisement — with the provider ID as deterministic tie-break.
+//     This re-propagates the source's current value along BFS paths every
+//     round, so stale values wash out in O(Dmax) computes instead of
+//     circulating as poison.
+func (n *Node) learnPriorities(newList antlist.List, work map[ident.NodeID]*incoming) {
+	senders := make([]ident.NodeID, 0, len(work))
+	for u := range work {
+		senders = append(senders, u)
+	}
+	sort.Slice(senders, func(i, j int) bool { return senders[i] < senders[j] })
+
+	fresh := make(map[ident.NodeID]priority.P)
+	gfresh := make(map[ident.NodeID]priority.P)
+	gpos := make(map[ident.NodeID]int)
+	for _, u := range senders {
+		inc := work[u]
+		for id, p := range inc.msg.Prios {
+			if cur, ok := fresh[id]; !ok || cur.Less(p) {
+				fresh[id] = p
+			}
+		}
+		for id, p := range inc.msg.GroupPrios {
+			pos, _ := inc.msg.List.Position(id)
+			if pos < 0 {
+				continue
+			}
+			if best, ok := gpos[id]; !ok || pos < best {
+				gpos[id] = pos
+				gfresh[id] = p
+			}
+		}
+	}
+	np := make(map[ident.NodeID]priority.P, newList.NodeCount())
+	ng := make(map[ident.NodeID]priority.P, newList.NodeCount())
+	for _, u := range newList.IDs() {
+		if p, ok := fresh[u]; ok {
+			np[u] = p
+		} else if p, ok := n.prios[u]; ok {
+			np[u] = p
+		}
+		if p, ok := gfresh[u]; ok {
+			ng[u] = p
+		} else if p, ok := n.gprs[u]; ok {
+			ng[u] = p
+		}
+	}
+	np[n.id] = n.self
+	n.prios = np
+	n.gprs = ng
+}
+
+// String summarizes the node for debugging.
+func (n *Node) String() string {
+	return fmt.Sprintf("%s list=%s view=%v pr=%s gpr=%s", n.id, n.list, n.View(), n.self, n.group)
+}
+
+// Compatible evaluates, without side effects, the first-contact
+// compatibility decision this node would take for the list lu: the safe
+// prefix depth (how deep lu's content may be folded) and whether the
+// sender is acceptable at all. It exposes the compatibleList test of
+// Proposition 13 for analysis and experiments; Compute applies the same
+// logic internally with the round's partial fold.
+func (n *Node) Compatible(lu antlist.List) (int, bool) {
+	return n.safePrefix(lu.Owner(), antlist.Singleton(ident.Plain(n.id)), lu)
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"repro/internal/antlist"
+	"repro/internal/core"
+	"repro/internal/ident"
+	"repro/internal/priority"
+)
+
+func plain(id ident.NodeID) ident.Entry { return ident.Plain(id) }
+
+func prio(id ident.NodeID) priority.P { return priority.New(id) }
+
+// pathList builds the ancestor list of the head of a path group: owner at
+// position 0, then one node per depth (IDs base+1, base+2, ...).
+func pathList(owner ident.NodeID, depth int, base uint32) antlist.List {
+	l := antlist.List{antlist.NewSet(plain(owner))}
+	for k := 1; k <= depth; k++ {
+		l = append(l, antlist.NewSet(plain(ident.NodeID(base+uint32(k)))))
+	}
+	return l
+}
+
+// pathListAndView builds a path group's list plus the matching full view.
+func pathListAndView(owner ident.NodeID, depth int, base uint32) (antlist.List, map[ident.NodeID]bool) {
+	l := pathList(owner, depth, base)
+	view := make(map[ident.NodeID]bool, depth+1)
+	for _, u := range l.IDs() {
+		view[u] = true
+	}
+	return l, view
+}
+
+// decideCompat evaluates the receiver's full admission decision for the
+// sender's list: the compatibility test must accept the sender's whole
+// foreign depth, and the subsequent fold must not trigger the too-far
+// contest at the receiver itself (content at position Dmax+1 is contested
+// and truncated, so it never joins the group even when the test, which
+// only protects content *behind* the receiver, waves it through).
+func decideCompat(n *core.Node, lu antlist.List) bool {
+	q := 0
+	for i, s := range lu {
+		for _, e := range s {
+			if !e.Mark.Marked() && e.ID != n.ID() && !n.InView(e.ID) {
+				q = i
+				break
+			}
+		}
+	}
+	qsafe, ok := n.Compatible(lu)
+	return ok && qsafe >= q && 1+q <= n.Config().Dmax
+}

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// two seeds keep the unit tests quick; the benches and cmd/grpexp use
+// the full Seeds count.
+const testSeeds = 2
+
+func TestE1StabilizationRecoversEverywhere(t *testing.T) {
+	tb := E1Stabilization(testSeeds)
+	if len(tb.Rows) != 8 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[4] != "2/2" {
+			t.Errorf("%s/%s did not recover on all seeds: %v", row[0], row[1], row)
+		}
+	}
+}
+
+func TestE2AgreementConvergesInSparseRegime(t *testing.T) {
+	tb := E2Agreement(testSeeds)
+	for _, row := range tb.Rows {
+		if row[3] != "2/2" {
+			t.Errorf("%s: converged %s", row[0], row[3])
+		}
+		if row[6] != "true" {
+			t.Errorf("%s: safety violated", row[0])
+		}
+	}
+}
+
+func TestE4MergeGadgets(t *testing.T) {
+	tb := E4MergeGadgets(testSeeds)
+	for _, row := range tb.Rows {
+		if row[1] != "2/2" {
+			t.Errorf("%s: converged %s", row[0], row[1])
+		}
+	}
+}
+
+func TestE5NoFalseAccepts(t *testing.T) {
+	tb := E5Compatibility()
+	for _, row := range tb.Rows {
+		if row[3] != "0" {
+			t.Errorf("Dmax=%s: %s false accepts (safety!)", row[0], row[3])
+		}
+		// The test is allowed to be conservative but must not be vacuous.
+		exact, _ := strconv.Atoi(row[2])
+		cases, _ := strconv.Atoi(row[1])
+		if exact*2 < cases {
+			t.Errorf("Dmax=%s: only %d/%d exact decisions", row[0], exact, cases)
+		}
+	}
+}
+
+func TestE6NoUnexcusedViolations(t *testing.T) {
+	tb := E6Continuity(testSeeds)
+	for _, row := range tb.Rows {
+		if row[5] != "0" {
+			t.Errorf("%s: %s unexcused continuity violations (Prop. 14!)", row[0], row[5])
+		}
+	}
+	// The static scenario must have zero raw violations in steady state.
+	if tb.Rows[0][3] != "0" {
+		t.Errorf("static scenario had steady-state violations: %v", tb.Rows[0])
+	}
+	// The cut scenarios must actually exercise ΠT breaks.
+	if tb.Rows[1][2] == "0" {
+		t.Errorf("drift-then-cut never broke ΠT: %v", tb.Rows[1])
+	}
+}
+
+func TestE9LosslessBaseline(t *testing.T) {
+	tb := E9Loss(testSeeds)
+	// The loss=0 rows must converge on all seeds with no unexcused churn.
+	for _, row := range tb.Rows[:2] {
+		if row[2] != "2/2" || row[4] != "0" {
+			t.Errorf("lossless baseline wrong: %v", row)
+		}
+	}
+}
+
+func TestE8LifetimeShape(t *testing.T) {
+	tb := E8Lifetime(1)
+	if len(tb.Rows) != 16 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// The deployment trade-off must be visible: GRP keeps safety fresh on
+	// a clear majority of rounds, while the epoch-based re-clusterer
+	// (the deployable baseline) falls well below it.
+	safety := map[string]float64{}
+	for _, row := range tb.Rows {
+		v, _ := strconv.ParseFloat(row[4], 64)
+		safety[row[1]] += v
+	}
+	if safety["GRP"] <= safety["MaxMin-epoch10"] {
+		t.Errorf("GRP safety freshness (%v) not better than epoch-based (%v)",
+			safety["GRP"]/4, safety["MaxMin-epoch10"]/4)
+	}
+	if safety["GRP"]/4 < 70 {
+		t.Errorf("GRP safety freshness too low: %v%%", safety["GRP"]/4)
+	}
+}
+
+func TestE14FullStabilizersConvergeBest(t *testing.T) {
+	tb := E14Stabilizers(testSeeds)
+	if tb.Rows[0][0] != "full" {
+		t.Fatalf("unexpected row order: %v", tb.Rows)
+	}
+	fullConv := tb.Rows[0][1]
+	if fullConv != "12/12" {
+		t.Errorf("full stabilizers must converge everywhere: %v", fullConv)
+	}
+}
+
+func TestE15BackoffRestoresFairChannel(t *testing.T) {
+	tb := E15Collision(testSeeds)
+	if tb.Rows[0][3] != "0/2" {
+		t.Errorf("synchronized sends on the collision channel must starve: %v", tb.Rows[0])
+	}
+	last := tb.Rows[len(tb.Rows)-1]
+	if last[3] != "2/2" {
+		t.Errorf("wide randomized backoff must converge: %v", last)
+	}
+}
+
+func TestE8bBothAlgosMeasured(t *testing.T) {
+	tb := E8bHeadLoss(1)
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[1] != "6" {
+			t.Errorf("%s: departures = %s, want 6", row[0], row[1])
+		}
+	}
+}
+
+func TestE11OverheadPositive(t *testing.T) {
+	tb := E11Overhead()
+	for _, row := range tb.Rows {
+		bpm, _ := strconv.ParseFloat(row[5], 64)
+		if bpm <= 16 {
+			t.Errorf("%s: bytes/msg = %v implausibly small", row[0], bpm)
+		}
+	}
+}
+
+func TestE12QuarantineEnablesAgreement(t *testing.T) {
+	tb := E12Quarantine(3)
+	var on, off string
+	var onUnexc string
+	for _, row := range tb.Rows {
+		if strings.HasSuffix(row[0], "-on") {
+			on, onUnexc = row[1], row[3]
+		} else {
+			off = row[1]
+		}
+	}
+	if on != "3/3" {
+		t.Errorf("quarantine-on must converge on the double join: %v", on)
+	}
+	if onUnexc != "0" {
+		t.Errorf("quarantine-on must have no unexcused violations: %v", onUnexc)
+	}
+	if off == "3/3" {
+		t.Errorf("quarantine-off unexpectedly converged everywhere; ablation not discriminating")
+	}
+}
+
+func TestE13DensityTrend(t *testing.T) {
+	tb := E13Density(testSeeds)
+	if len(tb.Rows) < 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[3] != "true" {
+			t.Errorf("range %s: safety violated", row[0])
+		}
+	}
+}
+
+func TestAllProducesEveryTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	tables := All(1)
+	if len(tables) != 16 {
+		t.Fatalf("tables = %d, want 16", len(tables))
+	}
+	for _, tb := range tables {
+		if len(tb.Rows) == 0 {
+			t.Errorf("table %q is empty", tb.Title)
+		}
+	}
+}

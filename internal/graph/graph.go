@@ -1,0 +1,245 @@
+// Package graph provides the static-graph substrate: adjacency storage,
+// BFS distances, induced-subgraph diameters and connectivity — everything
+// the Dynamic Group Service specification (ΠA, ΠS, ΠM, ΠT) is defined
+// against — plus generators for the topologies used by the experiments.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ident"
+)
+
+// Infinity is the distance reported between unreachable node pairs
+// (d(u,v) = +∞ in the paper).
+const Infinity = int(^uint(0) >> 1)
+
+// G is an undirected graph over NodeIDs. The zero value is an empty graph.
+// Directed (asymmetric) links are modeled at the radio layer; the
+// specification predicates all use the symmetric graph.
+type G struct {
+	adj map[ident.NodeID]map[ident.NodeID]bool
+}
+
+// New returns an empty graph.
+func New() *G {
+	return &G{adj: make(map[ident.NodeID]map[ident.NodeID]bool)}
+}
+
+// Clone returns a deep copy of the graph.
+func (g *G) Clone() *G {
+	out := New()
+	for v, nb := range g.adj {
+		m := make(map[ident.NodeID]bool, len(nb))
+		for u := range nb {
+			m[u] = true
+		}
+		out.adj[v] = m
+	}
+	return out
+}
+
+// AddNode ensures v exists (possibly isolated).
+func (g *G) AddNode(v ident.NodeID) {
+	if g.adj[v] == nil {
+		g.adj[v] = make(map[ident.NodeID]bool)
+	}
+}
+
+// RemoveNode deletes v and all its incident edges.
+func (g *G) RemoveNode(v ident.NodeID) {
+	for u := range g.adj[v] {
+		delete(g.adj[u], v)
+	}
+	delete(g.adj, v)
+}
+
+// AddEdge inserts the undirected edge (u,v), creating the nodes if needed.
+// Self-loops are ignored.
+func (g *G) AddEdge(u, v ident.NodeID) {
+	if u == v {
+		return
+	}
+	g.AddNode(u)
+	g.AddNode(v)
+	g.adj[u][v] = true
+	g.adj[v][u] = true
+}
+
+// RemoveEdge deletes the undirected edge (u,v) if present.
+func (g *G) RemoveEdge(u, v ident.NodeID) {
+	if g.adj[u] != nil {
+		delete(g.adj[u], v)
+	}
+	if g.adj[v] != nil {
+		delete(g.adj[v], u)
+	}
+}
+
+// HasNode reports whether v is in the graph.
+func (g *G) HasNode(v ident.NodeID) bool { _, ok := g.adj[v]; return ok }
+
+// HasEdge reports whether the undirected edge (u,v) is present.
+func (g *G) HasEdge(u, v ident.NodeID) bool { return g.adj[u][v] }
+
+// Nodes returns all nodes in ascending order.
+func (g *G) Nodes() []ident.NodeID {
+	out := make([]ident.NodeID, 0, len(g.adj))
+	for v := range g.adj {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumNodes returns the node count.
+func (g *G) NumNodes() int { return len(g.adj) }
+
+// NumEdges returns the undirected edge count.
+func (g *G) NumEdges() int {
+	n := 0
+	for _, nb := range g.adj {
+		n += len(nb)
+	}
+	return n / 2
+}
+
+// Neighbors returns v's neighbors in ascending order.
+func (g *G) Neighbors(v ident.NodeID) []ident.NodeID {
+	out := make([]ident.NodeID, 0, len(g.adj[v]))
+	for u := range g.adj[v] {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Degree returns the number of neighbors of v.
+func (g *G) Degree(v ident.NodeID) int { return len(g.adj[v]) }
+
+// BFSFrom returns the distance from src to every reachable node, optionally
+// restricted to the induced subgraph on `within` (nil means the whole
+// graph). This realizes the paper's d_X(u,v) notion.
+func (g *G) BFSFrom(src ident.NodeID, within map[ident.NodeID]bool) map[ident.NodeID]int {
+	dist := make(map[ident.NodeID]int)
+	if !g.HasNode(src) || (within != nil && !within[src]) {
+		return dist
+	}
+	dist[src] = 0
+	queue := []ident.NodeID{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for u := range g.adj[v] {
+			if within != nil && !within[u] {
+				continue
+			}
+			if _, seen := dist[u]; !seen {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// Dist returns d(u,v) in the whole graph, or Infinity if unreachable.
+func (g *G) Dist(u, v ident.NodeID) int {
+	d := g.BFSFrom(u, nil)
+	if dv, ok := d[v]; ok {
+		return dv
+	}
+	return Infinity
+}
+
+// DistWithin returns d_X(u,v): the distance using only nodes of X as
+// relays (u and v must be in X), or Infinity.
+func (g *G) DistWithin(u, v ident.NodeID, x map[ident.NodeID]bool) int {
+	d := g.BFSFrom(u, x)
+	if dv, ok := d[v]; ok {
+		return dv
+	}
+	return Infinity
+}
+
+// InducedDiameter returns the diameter of the subgraph induced by X
+// (Infinity if the induced subgraph is disconnected; 0 for singletons or
+// the empty set).
+func (g *G) InducedDiameter(x map[ident.NodeID]bool) int {
+	diam := 0
+	for v := range x {
+		d := g.BFSFrom(v, x)
+		if len(d) != len(x) {
+			return Infinity
+		}
+		for _, dv := range d {
+			if dv > diam {
+				diam = dv
+			}
+		}
+	}
+	return diam
+}
+
+// InducedConnected reports whether the subgraph induced by X is connected
+// (true for the empty set and singletons).
+func (g *G) InducedConnected(x map[ident.NodeID]bool) bool {
+	for v := range x {
+		return len(g.BFSFrom(v, x)) == len(x)
+	}
+	return true
+}
+
+// Connected reports whether the whole graph is connected.
+func (g *G) Connected() bool {
+	nodes := g.Nodes()
+	if len(nodes) <= 1 {
+		return true
+	}
+	return len(g.BFSFrom(nodes[0], nil)) == len(nodes)
+}
+
+// Diameter returns the diameter of the whole graph (Infinity when
+// disconnected).
+func (g *G) Diameter() int {
+	set := make(map[ident.NodeID]bool, len(g.adj))
+	for v := range g.adj {
+		set[v] = true
+	}
+	return g.InducedDiameter(set)
+}
+
+// Equal reports whether two graphs have identical node and edge sets.
+func (g *G) Equal(o *G) bool {
+	if len(g.adj) != len(o.adj) {
+		return false
+	}
+	for v, nb := range g.adj {
+		onb, ok := o.adj[v]
+		if !ok || len(nb) != len(onb) {
+			return false
+		}
+		for u := range nb {
+			if !onb[u] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders a compact description.
+func (g *G) String() string {
+	return fmt.Sprintf("graph(n=%d, m=%d)", g.NumNodes(), g.NumEdges())
+}
+
+// NodeSet returns the nodes of g as a set, the shape the induced-subgraph
+// helpers take.
+func (g *G) NodeSet() map[ident.NodeID]bool {
+	out := make(map[ident.NodeID]bool, len(g.adj))
+	for v := range g.adj {
+		out[v] = true
+	}
+	return out
+}

@@ -1,0 +1,228 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ident"
+)
+
+func set(idsIn ...uint32) map[ident.NodeID]bool {
+	out := make(map[ident.NodeID]bool, len(idsIn))
+	for _, v := range idsIn {
+		out[ident.NodeID(v)] = true
+	}
+	return out
+}
+
+func TestAddRemoveEdgeNode(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	if !g.HasEdge(1, 2) || !g.HasEdge(2, 1) {
+		t.Fatal("edge must be undirected")
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+	g.RemoveEdge(1, 2)
+	if g.HasEdge(1, 2) {
+		t.Fatal("edge not removed")
+	}
+	g.RemoveNode(2)
+	if g.HasNode(2) || g.HasEdge(2, 3) || g.HasEdge(3, 2) {
+		t.Fatal("node removal incomplete")
+	}
+}
+
+func TestSelfLoopIgnored(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 1)
+	if g.NumEdges() != 0 {
+		t.Fatal("self loop should be ignored")
+	}
+}
+
+func TestLineDistances(t *testing.T) {
+	g := Line(5)
+	if d := g.Dist(1, 5); d != 4 {
+		t.Fatalf("Dist(1,5) = %d", d)
+	}
+	if d := g.Dist(2, 2); d != 0 {
+		t.Fatalf("Dist(2,2) = %d", d)
+	}
+	g.RemoveEdge(3, 4)
+	if d := g.Dist(1, 5); d != Infinity {
+		t.Fatalf("Dist across cut = %d", d)
+	}
+}
+
+func TestDistWithinRestrictsRelays(t *testing.T) {
+	// 1-2-3 and 1-4-3: excluding 2 forces the longer... here same length;
+	// excluding both 2 and 4 disconnects.
+	g := New()
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(1, 4)
+	g.AddEdge(4, 3)
+	if d := g.DistWithin(1, 3, set(1, 2, 3)); d != 2 {
+		t.Fatalf("DistWithin = %d", d)
+	}
+	if d := g.DistWithin(1, 3, set(1, 3)); d != Infinity {
+		t.Fatalf("DistWithin no relay = %d", d)
+	}
+}
+
+func TestInducedDiameterAndConnectivity(t *testing.T) {
+	g := Line(6)
+	if d := g.InducedDiameter(g.NodeSet()); d != 5 {
+		t.Fatalf("diameter = %d", d)
+	}
+	if d := g.InducedDiameter(set(1, 2, 3)); d != 2 {
+		t.Fatalf("induced diameter = %d", d)
+	}
+	if d := g.InducedDiameter(set(1, 3)); d != Infinity {
+		t.Fatal("disconnected induced subgraph must be Infinity")
+	}
+	if d := g.InducedDiameter(set(4)); d != 0 {
+		t.Fatalf("singleton diameter = %d", d)
+	}
+	if d := g.InducedDiameter(nil); d != 0 {
+		t.Fatalf("empty diameter = %d", d)
+	}
+	if !g.InducedConnected(set(2, 3, 4)) || g.InducedConnected(set(1, 6)) {
+		t.Fatal("InducedConnected wrong")
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	if g := Ring(6); g.NumEdges() != 6 || g.Diameter() != 3 {
+		t.Fatalf("ring: %v diam=%d", g, g.Diameter())
+	}
+	if g := Grid(3, 4); g.NumNodes() != 12 || g.Diameter() != 5 {
+		t.Fatalf("grid: %v diam=%d", g, g.Diameter())
+	}
+	if g := Star(5); g.Diameter() != 2 || g.Degree(1) != 4 {
+		t.Fatalf("star wrong")
+	}
+	if g := Complete(5); g.NumEdges() != 10 || g.Diameter() != 1 {
+		t.Fatalf("complete wrong")
+	}
+	if g := Line(1); !g.Connected() || g.Diameter() != 0 {
+		t.Fatalf("singleton line wrong")
+	}
+}
+
+func TestClustersGadget(t *testing.T) {
+	// 3 cliques of 3, direct bridges, chained: connected, and the cliques
+	// are diameter-1 blobs.
+	g := Clusters(3, 3, 0, false)
+	if !g.Connected() {
+		t.Fatal("chain of clusters must be connected")
+	}
+	if g.NumNodes() != 9 {
+		t.Fatalf("n = %d", g.NumNodes())
+	}
+	if d := g.InducedDiameter(set(1, 2, 3)); d != 1 {
+		t.Fatalf("clique diameter = %d", d)
+	}
+	// Ring variant adds the closing bridge.
+	gr := Clusters(3, 3, 0, true)
+	if gr.NumEdges() != g.NumEdges()+1 {
+		t.Fatal("ring must add exactly one bridge edge")
+	}
+	// Bridged variant inserts relay nodes.
+	gb := Clusters(2, 2, 2, false)
+	if gb.NumNodes() != 6 { // 2*2 + 2 relays
+		t.Fatalf("bridged n = %d", gb.NumNodes())
+	}
+	if d := gb.Dist(2, 3); d != 3 {
+		t.Fatalf("bridge length wrong: %d", d)
+	}
+}
+
+func TestRandomGeometricDeterministic(t *testing.T) {
+	a := RandomGeometric(30, 10, 3, rand.New(rand.NewSource(7)))
+	b := RandomGeometric(30, 10, 3, rand.New(rand.NewSource(7)))
+	if !a.Equal(b) {
+		t.Fatal("same seed must give same graph")
+	}
+	c := RandomGeometric(30, 10, 3, rand.New(rand.NewSource(8)))
+	if a.Equal(c) {
+		t.Fatal("different seeds should differ (overwhelmingly)")
+	}
+}
+
+func TestConnectedRandomGeometric(t *testing.T) {
+	g := ConnectedRandomGeometric(25, 10, 5, rand.New(rand.NewSource(1)), 50)
+	if g == nil || !g.Connected() {
+		t.Fatal("should find a connected instance with generous range")
+	}
+	if g2 := ConnectedRandomGeometric(30, 1000, 0.1, rand.New(rand.NewSource(1)), 3); g2 != nil {
+		t.Fatal("hopeless parameters should return nil")
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	g := Grid(3, 3)
+	c := g.Clone()
+	if !g.Equal(c) {
+		t.Fatal("clone must equal original")
+	}
+	c.RemoveEdge(1, 2)
+	if g.Equal(c) || !g.HasEdge(1, 2) {
+		t.Fatal("clone must be independent")
+	}
+}
+
+func TestQuickBFSTriangleInequality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := RandomGeometric(15, 10, 4, rng)
+		nodes := g.Nodes()
+		for a := 0; a < 5; a++ {
+			u := nodes[rng.Intn(len(nodes))]
+			v := nodes[rng.Intn(len(nodes))]
+			w := nodes[rng.Intn(len(nodes))]
+			duv, dvw, duw := g.Dist(u, v), g.Dist(v, w), g.Dist(u, w)
+			if duv == Infinity || dvw == Infinity {
+				continue
+			}
+			if duw > duv+dvw {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickInducedDiameterMonotone(t *testing.T) {
+	// Removing nodes from the allowed set can only increase (or keep)
+	// pairwise restricted distances.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := RandomGeometric(12, 10, 5, rng)
+		all := g.NodeSet()
+		sub := make(map[ident.NodeID]bool)
+		for v := range all {
+			if rng.Intn(3) > 0 {
+				sub[v] = true
+			}
+		}
+		for u := range sub {
+			for v := range sub {
+				if g.DistWithin(u, v, sub) < g.DistWithin(u, v, all) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

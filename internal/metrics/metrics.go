@@ -1,0 +1,259 @@
+// Package metrics evaluates the Dynamic Group Service specification on
+// configuration snapshots: the agreement (ΠA), safety (ΠS) and maximality
+// (ΠM) predicates of the static specification, the topological (ΠT) and
+// continuity (ΠC) predicates of the best-effort requirement, plus group
+// statistics and churn accounting used by the experiment harness.
+package metrics
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/ident"
+)
+
+// Snapshot is one configuration: the topology and every node's view.
+type Snapshot struct {
+	G     *graph.G
+	Views map[ident.NodeID]map[ident.NodeID]bool
+}
+
+// Omega returns Ω_v: view_v when v belongs to it and every member agrees
+// on exactly that view, else the singleton {v} (the paper's definition of
+// the group of v).
+func (s Snapshot) Omega(v ident.NodeID) map[ident.NodeID]bool {
+	vw := s.Views[v]
+	if vw == nil || !vw[v] {
+		return map[ident.NodeID]bool{v: true}
+	}
+	for u := range vw {
+		uw := s.Views[u]
+		if !sameSet(vw, uw) {
+			return map[ident.NodeID]bool{v: true}
+		}
+	}
+	out := make(map[ident.NodeID]bool, len(vw))
+	for u := range vw {
+		out[u] = true
+	}
+	return out
+}
+
+// Groups returns the distinct groups {Ω_v : v ∈ V}, each sorted, the list
+// sorted by first member. Every node belongs to exactly one returned
+// group when ΠA holds; otherwise singleton Ωs fill the gaps.
+func (s Snapshot) Groups() [][]ident.NodeID {
+	seen := make(map[string]bool)
+	var out [][]ident.NodeID
+	for _, v := range s.G.Nodes() {
+		om := s.Omega(v)
+		ids := setToSorted(om)
+		k := key(ids)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, ids)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// Agreement evaluates ΠA: the views must define a partition of the nodes
+// into disjoint subgraphs — u and v are in the same part iff their views
+// are equal to that part.
+func (s Snapshot) Agreement() bool {
+	assigned := make(map[ident.NodeID]string)
+	for _, v := range s.G.Nodes() {
+		vw := s.Views[v]
+		if vw == nil || !vw[v] {
+			return false
+		}
+		for u := range vw {
+			if !sameSet(vw, s.Views[u]) {
+				return false
+			}
+		}
+		k := key(setToSorted(vw))
+		for u := range vw {
+			if prev, ok := assigned[u]; ok && prev != k {
+				return false
+			}
+			assigned[u] = k
+		}
+	}
+	return true
+}
+
+// Safety evaluates ΠS: every group Ω_v is connected and has diameter at
+// most dmax in its induced subgraph.
+func (s Snapshot) Safety(dmax int) bool {
+	checked := make(map[string]bool)
+	for _, v := range s.G.Nodes() {
+		om := s.Omega(v)
+		k := key(setToSorted(om))
+		if checked[k] {
+			continue
+		}
+		checked[k] = true
+		if s.G.InducedDiameter(om) > dmax {
+			return false
+		}
+	}
+	return true
+}
+
+// Maximality evaluates ΠM: merging any two distinct groups must break the
+// diameter bound (unreachable pairs count as infinite distance, so groups
+// with no connecting path are trivially unmergeable).
+func (s Snapshot) Maximality(dmax int) bool {
+	groups := s.Groups()
+	for i := 0; i < len(groups); i++ {
+		for j := i + 1; j < len(groups); j++ {
+			union := make(map[ident.NodeID]bool, len(groups[i])+len(groups[j]))
+			for _, v := range groups[i] {
+				union[v] = true
+			}
+			for _, v := range groups[j] {
+				union[v] = true
+			}
+			if s.G.InducedDiameter(union) <= dmax {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Converged reports ΠA ∧ ΠS ∧ ΠM: the legitimacy predicate of the static
+// specification.
+func (s Snapshot) Converged(dmax int) bool {
+	return s.Agreement() && s.Safety(dmax) && s.Maximality(dmax)
+}
+
+// Topological evaluates ΠT(prev, next): for every node v, the members of
+// v's previous group must remain within dmax of each other in the *new*
+// topology, using only previous-group members as relays. Nodes that left
+// the network make the distance infinite, falsifying ΠT.
+func Topological(prev, next Snapshot, dmax int) bool {
+	checked := make(map[string]bool)
+	for _, v := range prev.G.Nodes() {
+		om := prev.Omega(v)
+		k := key(setToSorted(om))
+		if checked[k] {
+			continue
+		}
+		checked[k] = true
+		if len(om) == 1 {
+			continue // singletons are never stretched
+		}
+		for x := range om {
+			d := next.G.BFSFrom(x, om)
+			for y := range om {
+				if dy, ok := d[y]; !ok || dy > dmax {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Continuity evaluates ΠC(prev, next): no node disappears from any group,
+// Ω_v(prev) ⊆ Ω_v(next) for every node still present.
+func Continuity(prev, next Snapshot) bool {
+	return len(ContinuityViolations(prev, next)) == 0
+}
+
+// ContinuityViolations returns the nodes v whose group lost at least one
+// member between the two snapshots (Ω_v(prev) ⊄ Ω_v(next)).
+func ContinuityViolations(prev, next Snapshot) []ident.NodeID {
+	var out []ident.NodeID
+	for _, v := range prev.G.Nodes() {
+		if !next.G.HasNode(v) {
+			continue // v itself left the network
+		}
+		om := prev.Omega(v)
+		nm := next.Omega(v)
+		for u := range om {
+			if !nm[u] {
+				out = append(out, v)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// GroupCount returns the number of distinct groups.
+func (s Snapshot) GroupCount() int { return len(s.Groups()) }
+
+// SingletonCount returns how many groups are singletons.
+func (s Snapshot) SingletonCount() int {
+	n := 0
+	for _, g := range s.Groups() {
+		if len(g) == 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// MeanGroupSize returns the average group size (0 for an empty snapshot).
+func (s Snapshot) MeanGroupSize() float64 {
+	groups := s.Groups()
+	if len(groups) == 0 {
+		return 0
+	}
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+	}
+	return float64(total) / float64(len(groups))
+}
+
+func sameSet(a, b map[ident.NodeID]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for v := range a {
+		if !b[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func setToSorted(m map[ident.NodeID]bool) []ident.NodeID {
+	out := make([]ident.NodeID, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func key(ids []ident.NodeID) string {
+	b := make([]byte, 0, len(ids)*5)
+	for _, v := range ids {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24), ',')
+	}
+	return string(b)
+}
+
+// ExternalEdges returns nee(c), the number of edges whose endpoints lie in
+// different groups — the potential function of the paper's maximality
+// proof (Props. 9–11: once agreement holds, nee no longer increases, and
+// it strictly decreases while ΠM is false, which bounds the number of
+// merges left).
+func (s Snapshot) ExternalEdges() int {
+	n := 0
+	for _, v := range s.G.Nodes() {
+		om := s.Omega(v)
+		for _, u := range s.G.Neighbors(v) {
+			if u > v && !om[u] {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,345 @@
+// Package mobility provides the node movement models driving the dynamic
+// topologies: static placement, random waypoint, random walk, a VANET-style
+// highway convoy, and reference-point group mobility. All models are
+// deterministic for a given rng and advance in discrete time steps.
+package mobility
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/ident"
+	"repro/internal/space"
+)
+
+// Model places nodes and moves them step by step.
+type Model interface {
+	// Init sets initial positions for the given nodes.
+	Init(w *space.World, nodes []ident.NodeID, rng *rand.Rand)
+	// Step advances every node by dt time units.
+	Step(w *space.World, dt float64, rng *rand.Rand)
+}
+
+// Static scatters nodes uniformly in a Side×Side square and never moves
+// them. With Jitter > 0, Step wobbles each node by at most Jitter per step
+// (useful for "almost static" link-flap studies).
+type Static struct {
+	Side   float64
+	Jitter float64
+}
+
+// Init implements Model.
+func (s *Static) Init(w *space.World, nodes []ident.NodeID, rng *rand.Rand) {
+	for _, v := range nodes {
+		w.Place(v, space.Point{X: rng.Float64() * s.Side, Y: rng.Float64() * s.Side})
+	}
+}
+
+// Step implements Model.
+func (s *Static) Step(w *space.World, dt float64, rng *rand.Rand) {
+	if s.Jitter == 0 {
+		return
+	}
+	for _, v := range w.Nodes() {
+		p, _ := w.Pos(v)
+		w.Place(v, clamp(p.Add((rng.Float64()*2-1)*s.Jitter, (rng.Float64()*2-1)*s.Jitter), s.Side))
+	}
+}
+
+// Waypoint is the classic random-waypoint model in a Side×Side square:
+// each node picks a uniform destination and speed in [SpeedMin, SpeedMax],
+// travels there, pauses Pause time units, repeats.
+type Waypoint struct {
+	Side, SpeedMin, SpeedMax, Pause float64
+
+	state map[ident.NodeID]*wpState
+}
+
+type wpState struct {
+	dest    space.Point
+	speed   float64
+	pausing float64
+}
+
+// Init implements Model.
+func (m *Waypoint) Init(w *space.World, nodes []ident.NodeID, rng *rand.Rand) {
+	m.state = make(map[ident.NodeID]*wpState, len(nodes))
+	for _, v := range nodes {
+		w.Place(v, space.Point{X: rng.Float64() * m.Side, Y: rng.Float64() * m.Side})
+		m.state[v] = m.newLeg(rng)
+	}
+}
+
+func (m *Waypoint) newLeg(rng *rand.Rand) *wpState {
+	return &wpState{
+		dest:  space.Point{X: rng.Float64() * m.Side, Y: rng.Float64() * m.Side},
+		speed: m.SpeedMin + rng.Float64()*(m.SpeedMax-m.SpeedMin),
+	}
+}
+
+// Step implements Model.
+func (m *Waypoint) Step(w *space.World, dt float64, rng *rand.Rand) {
+	for _, v := range w.Nodes() {
+		st := m.state[v]
+		if st == nil {
+			st = m.newLeg(rng)
+			m.state[v] = st
+		}
+		if st.pausing > 0 {
+			st.pausing -= dt
+			continue
+		}
+		p, _ := w.Pos(v)
+		d := p.Dist(st.dest)
+		travel := st.speed * dt
+		if travel >= d {
+			w.Place(v, st.dest)
+			ns := m.newLeg(rng)
+			ns.pausing = m.Pause
+			m.state[v] = ns
+			continue
+		}
+		w.Place(v, p.Add((st.dest.X-p.X)/d*travel, (st.dest.Y-p.Y)/d*travel))
+	}
+}
+
+// Walk is a bounded random walk: each node keeps a heading, moves at Speed,
+// and re-draws the heading with probability Turn per step; it reflects off
+// the square's borders.
+type Walk struct {
+	Side, Speed, Turn float64
+
+	heading map[ident.NodeID]float64
+}
+
+// Init implements Model.
+func (m *Walk) Init(w *space.World, nodes []ident.NodeID, rng *rand.Rand) {
+	m.heading = make(map[ident.NodeID]float64, len(nodes))
+	for _, v := range nodes {
+		w.Place(v, space.Point{X: rng.Float64() * m.Side, Y: rng.Float64() * m.Side})
+		m.heading[v] = rng.Float64() * 2 * math.Pi
+	}
+}
+
+// Step implements Model.
+func (m *Walk) Step(w *space.World, dt float64, rng *rand.Rand) {
+	for _, v := range w.Nodes() {
+		h, ok := m.heading[v]
+		if !ok || rng.Float64() < m.Turn {
+			h = rng.Float64() * 2 * math.Pi
+		}
+		p, _ := w.Pos(v)
+		np := p.Add(math.Cos(h)*m.Speed*dt, math.Sin(h)*m.Speed*dt)
+		if np.X < 0 || np.X > m.Side {
+			h = math.Pi - h
+			np.X = math.Min(math.Max(np.X, 0), m.Side)
+		}
+		if np.Y < 0 || np.Y > m.Side {
+			h = -h
+			np.Y = math.Min(math.Max(np.Y, 0), m.Side)
+		}
+		m.heading[v] = h
+		w.Place(v, np)
+	}
+}
+
+// Highway is a VANET-style multi-lane road of length Length. Vehicles keep
+// a per-vehicle speed drawn from [SpeedMin, SpeedMax] (lane-dependent bias:
+// higher lanes drive faster) and wrap around, so relative speeds — the
+// source of topology change — stay bounded while absolute motion is
+// continuous. Lane spacing is LaneGap.
+type Highway struct {
+	Length             float64
+	Lanes              int
+	LaneGap            float64
+	SpeedMin, SpeedMax float64
+
+	speed map[ident.NodeID]float64
+}
+
+// Init implements Model.
+func (m *Highway) Init(w *space.World, nodes []ident.NodeID, rng *rand.Rand) {
+	if m.Lanes <= 0 {
+		m.Lanes = 1
+	}
+	m.speed = make(map[ident.NodeID]float64, len(nodes))
+	for i, v := range nodes {
+		lane := i % m.Lanes
+		base := m.SpeedMin + (m.SpeedMax-m.SpeedMin)*float64(lane)/float64(m.Lanes)
+		span := (m.SpeedMax - m.SpeedMin) / float64(m.Lanes)
+		m.speed[v] = base + rng.Float64()*span
+		w.Place(v, space.Point{X: rng.Float64() * m.Length, Y: float64(lane) * m.LaneGap})
+	}
+}
+
+// Step implements Model.
+func (m *Highway) Step(w *space.World, dt float64, rng *rand.Rand) {
+	for _, v := range w.Nodes() {
+		p, _ := w.Pos(v)
+		x := math.Mod(p.X+m.speed[v]*dt, m.Length)
+		if x < 0 {
+			x += m.Length
+		}
+		w.Place(v, space.Point{X: x, Y: p.Y})
+	}
+}
+
+// Convoy places nodes as a platoon of vehicles with identical speed and
+// fixed spacing; the whole platoon translates rigidly, so the topology is
+// invariant — the ideal ΠT-preserving mobility. With StragglerEvery > 0,
+// every StragglerEvery time units the tail vehicle brakes by
+// StragglerSlowdown, eventually stretching the platoon beyond radio range —
+// the controlled ΠT violation used by the continuity experiments.
+type Convoy struct {
+	Spacing, Speed    float64
+	StragglerEvery    float64
+	StragglerSlowdown float64
+
+	tail    ident.NodeID
+	elapsed float64
+	braked  bool
+}
+
+// Init implements Model.
+func (m *Convoy) Init(w *space.World, nodes []ident.NodeID, rng *rand.Rand) {
+	for i, v := range nodes {
+		w.Place(v, space.Point{X: float64(i) * m.Spacing, Y: 0})
+		m.tail = v
+	}
+	if len(nodes) > 0 {
+		m.tail = nodes[0] // lowest-x vehicle trails the convoy
+	}
+}
+
+// Step implements Model.
+func (m *Convoy) Step(w *space.World, dt float64, rng *rand.Rand) {
+	m.elapsed += dt
+	if m.StragglerEvery > 0 && m.elapsed >= m.StragglerEvery {
+		m.braked = true
+	}
+	for _, v := range w.Nodes() {
+		p, _ := w.Pos(v)
+		sp := m.Speed
+		if m.braked && v == m.tail {
+			sp -= m.StragglerSlowdown
+		}
+		w.Place(v, p.Add(sp*dt, 0))
+	}
+}
+
+// Groups is reference-point group mobility: group centers follow a
+// Waypoint model; members stay within Radius of their center with a small
+// independent jitter. Membership is by node order: node i belongs to group
+// i % NumGroups.
+type Groups struct {
+	Side, SpeedMin, SpeedMax float64
+	NumGroups                int
+	Radius                   float64
+
+	centers  *Waypoint
+	centerID []ident.NodeID
+	group    map[ident.NodeID]int
+	cw       *space.World
+}
+
+// Init implements Model.
+func (m *Groups) Init(w *space.World, nodes []ident.NodeID, rng *rand.Rand) {
+	if m.NumGroups <= 0 {
+		m.NumGroups = 1
+	}
+	m.centers = &Waypoint{Side: m.Side, SpeedMin: m.SpeedMin, SpeedMax: m.SpeedMax}
+	m.cw = space.NewWorld(0)
+	m.centerID = make([]ident.NodeID, m.NumGroups)
+	for i := range m.centerID {
+		m.centerID[i] = ident.NodeID(i + 1)
+	}
+	m.centers.Init(m.cw, m.centerID, rng)
+	m.group = make(map[ident.NodeID]int, len(nodes))
+	for i, v := range nodes {
+		m.group[v] = i % m.NumGroups
+		c, _ := m.cw.Pos(m.centerID[m.group[v]])
+		w.Place(v, jitterAround(c, m.Radius, rng))
+	}
+}
+
+// Step implements Model.
+func (m *Groups) Step(w *space.World, dt float64, rng *rand.Rand) {
+	m.centers.Step(m.cw, dt, rng)
+	for _, v := range w.Nodes() {
+		c, _ := m.cw.Pos(m.centerID[m.group[v]])
+		w.Place(v, jitterAround(c, m.Radius, rng))
+	}
+}
+
+func jitterAround(c space.Point, radius float64, rng *rand.Rand) space.Point {
+	ang := rng.Float64() * 2 * math.Pi
+	r := rng.Float64() * radius
+	return c.Add(math.Cos(ang)*r, math.Sin(ang)*r)
+}
+
+func clamp(p space.Point, side float64) space.Point {
+	return space.Point{
+		X: math.Min(math.Max(p.X, 0), side),
+		Y: math.Min(math.Max(p.Y, 0), side),
+	}
+}
+
+// RingRoad is a circular road: vehicles drive at per-vehicle speeds along
+// a circle of circumference Length, with lanes as concentric circles
+// LaneGap apart. Unlike Highway (a straight road with modular wrap, whose
+// Euclidean wrap discontinuity breaks links artificially), distances on
+// the ring are continuous — the clean model for long steady-state
+// mobility studies like the group-lifetime experiment.
+type RingRoad struct {
+	Length             float64
+	Lanes              int
+	LaneGap            float64
+	SpeedMin, SpeedMax float64
+	// Opposing reverses the direction of odd lanes — oncoming traffic,
+	// the classic VANET source of fleeting radio contacts.
+	Opposing bool
+
+	angSpeed map[ident.NodeID]float64 // angular speed (rad per time unit)
+	angle    map[ident.NodeID]float64
+	lane     map[ident.NodeID]int
+}
+
+// Init implements Model.
+func (m *RingRoad) Init(w *space.World, nodes []ident.NodeID, rng *rand.Rand) {
+	if m.Lanes <= 0 {
+		m.Lanes = 1
+	}
+	radius := m.Length / (2 * math.Pi)
+	m.angSpeed = make(map[ident.NodeID]float64, len(nodes))
+	m.angle = make(map[ident.NodeID]float64, len(nodes))
+	m.lane = make(map[ident.NodeID]int, len(nodes))
+	for i, v := range nodes {
+		lane := i % m.Lanes
+		base := m.SpeedMin + (m.SpeedMax-m.SpeedMin)*float64(lane)/float64(m.Lanes)
+		span := (m.SpeedMax - m.SpeedMin) / float64(m.Lanes)
+		speed := base + rng.Float64()*span
+		// Angular speed uses the vehicle's own lane radius, so the
+		// linear speed equals the drawn speed regardless of lane.
+		m.angSpeed[v] = speed / (radius + float64(lane)*m.LaneGap)
+		if m.Opposing && lane%2 == 1 {
+			m.angSpeed[v] = -m.angSpeed[v]
+		}
+		m.angle[v] = rng.Float64() * 2 * math.Pi
+		m.lane[v] = lane
+		m.place(w, v, radius)
+	}
+}
+
+// Step implements Model.
+func (m *RingRoad) Step(w *space.World, dt float64, rng *rand.Rand) {
+	radius := m.Length / (2 * math.Pi)
+	for _, v := range w.Nodes() {
+		m.angle[v] = math.Mod(m.angle[v]+m.angSpeed[v]*dt, 2*math.Pi)
+		m.place(w, v, radius)
+	}
+}
+
+func (m *RingRoad) place(w *space.World, v ident.NodeID, radius float64) {
+	r := radius + float64(m.lane[v])*m.LaneGap
+	w.Place(v, space.Point{X: r * math.Cos(m.angle[v]), Y: r * math.Sin(m.angle[v])})
+}

@@ -1,0 +1,100 @@
+// Package radio models the wireless channel between the vicinity relation
+// and the protocol: which of a slot's broadcasts are actually received.
+//
+// The paper's system model (§2, close to IEEE 802.11) is: one-message
+// channels, and a node v receives u's message only if v is not itself
+// sending and no other node in v's vicinity is sending at the same time.
+// The Collision channel implements exactly that; Perfect and Lossy bracket
+// it from both sides for sensitivity studies (experiment E9).
+package radio
+
+import (
+	"math/rand"
+
+	"repro/internal/ident"
+)
+
+// Tx is one broadcast in a slot: the sender and the nodes its signal
+// reaches (the vicinity, as computed by the space layer).
+type Tx struct {
+	Sender    ident.NodeID
+	Receivers []ident.NodeID
+}
+
+// Delivery is a successful reception.
+type Delivery struct {
+	From, To ident.NodeID
+}
+
+// Channel decides which receptions succeed among a slot's broadcasts.
+type Channel interface {
+	// DeliverSlot returns the successful deliveries of a slot. txs lists
+	// all simultaneous broadcasts; implementations must not mutate it.
+	DeliverSlot(txs []Tx, rng *rand.Rand) []Delivery
+}
+
+// Perfect delivers every reachable (sender, receiver) pair: no loss, no
+// collisions. The fair-channel hypothesis holds trivially.
+type Perfect struct{}
+
+// DeliverSlot implements Channel.
+func (Perfect) DeliverSlot(txs []Tx, _ *rand.Rand) []Delivery {
+	var out []Delivery
+	for _, tx := range txs {
+		for _, r := range tx.Receivers {
+			out = append(out, Delivery{From: tx.Sender, To: r})
+		}
+	}
+	return out
+}
+
+// Lossy drops each reception independently with probability P, on top of
+// an inner channel (Perfect when Inner is nil).
+type Lossy struct {
+	P     float64
+	Inner Channel
+}
+
+// DeliverSlot implements Channel.
+func (l Lossy) DeliverSlot(txs []Tx, rng *rand.Rand) []Delivery {
+	inner := l.Inner
+	if inner == nil {
+		inner = Perfect{}
+	}
+	in := inner.DeliverSlot(txs, rng)
+	out := in[:0:0]
+	for _, d := range in {
+		if rng.Float64() >= l.P {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Collision implements the paper's interference model: a node receives
+// nothing in a slot when it is itself sending, and nothing when two or
+// more senders reach it simultaneously (the one-message channel is
+// destroyed by the collision).
+type Collision struct{}
+
+// DeliverSlot implements Channel.
+func (Collision) DeliverSlot(txs []Tx, _ *rand.Rand) []Delivery {
+	sending := make(map[ident.NodeID]bool, len(txs))
+	heard := make(map[ident.NodeID]int)
+	for _, tx := range txs {
+		sending[tx.Sender] = true
+		for _, r := range tx.Receivers {
+			heard[r]++
+		}
+	}
+	var out []Delivery
+	for _, tx := range txs {
+		for _, r := range tx.Receivers {
+			if sending[r] || heard[r] > 1 {
+				continue
+			}
+			out = append(out, Delivery{From: tx.Sender, To: r})
+		}
+	}
+	return out
+}

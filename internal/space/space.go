@@ -1,0 +1,154 @@
+// Package space models the Euclidean plane the nodes move in and the
+// vicinity relation of the paper's system model: a link u→v exists when u
+// is in the vicinity of v, which depends on positions, per-node radio
+// ranges (asymmetric links) and obstacles.
+package space
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/ident"
+)
+
+// Point is a position in the plane.
+type Point struct{ X, Y float64 }
+
+// Dist returns the Euclidean distance to o.
+func (p Point) Dist(o Point) float64 { return math.Hypot(p.X-o.X, p.Y-o.Y) }
+
+// Add returns p translated by (dx, dy).
+func (p Point) Add(dx, dy float64) Point { return Point{p.X + dx, p.Y + dy} }
+
+// Segment is an obstacle wall blocking radio line of sight.
+type Segment struct{ A, B Point }
+
+// World holds node positions and the vicinity parameters.
+type World struct {
+	// Range is the default transmission range.
+	Range float64
+	// TxRange optionally overrides the transmission range per node,
+	// producing asymmetric links (u→v exists iff dist ≤ TX range of u).
+	TxRange map[ident.NodeID]float64
+	// Walls block links whose straight line crosses them.
+	Walls []Segment
+
+	pos map[ident.NodeID]Point
+}
+
+// NewWorld returns an empty world with the given default range.
+func NewWorld(txRange float64) *World {
+	return &World{Range: txRange, pos: make(map[ident.NodeID]Point)}
+}
+
+// Place sets v's position (adding v if unknown).
+func (w *World) Place(v ident.NodeID, p Point) { w.pos[v] = p }
+
+// Remove deletes v from the world (node became inactive / left).
+func (w *World) Remove(v ident.NodeID) { delete(w.pos, v) }
+
+// Pos returns v's position and whether v is present.
+func (w *World) Pos(v ident.NodeID) (Point, bool) { p, ok := w.pos[v]; return p, ok }
+
+// Nodes returns all present nodes in ascending order.
+func (w *World) Nodes() []ident.NodeID {
+	out := make([]ident.NodeID, 0, len(w.pos))
+	for v := range w.pos {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// rangeOf returns the TX range of v.
+func (w *World) rangeOf(v ident.NodeID) float64 {
+	if r, ok := w.TxRange[v]; ok {
+		return r
+	}
+	return w.Range
+}
+
+// CanReach reports whether a transmission by u is receivable by v (u is in
+// the vicinity of v): both present, within u's TX range, and no wall
+// between them.
+func (w *World) CanReach(u, v ident.NodeID) bool {
+	if u == v {
+		return false
+	}
+	pu, ok := w.pos[u]
+	if !ok {
+		return false
+	}
+	pv, ok := w.pos[v]
+	if !ok {
+		return false
+	}
+	if pu.Dist(pv) > w.rangeOf(u) {
+		return false
+	}
+	for _, wall := range w.Walls {
+		if segmentsCross(pu, pv, wall.A, wall.B) {
+			return false
+		}
+	}
+	return true
+}
+
+// SymmetricGraph returns the undirected graph of bidirectional links — the
+// topology G_c the specification predicates are evaluated on. Nodes present
+// in the world always appear, even isolated.
+func (w *World) SymmetricGraph() *graph.G {
+	g := graph.New()
+	nodes := w.Nodes()
+	for _, v := range nodes {
+		g.AddNode(v)
+	}
+	for i, u := range nodes {
+		for _, v := range nodes[i+1:] {
+			if w.CanReach(u, v) && w.CanReach(v, u) {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// Receivers returns the nodes able to receive a transmission from u, in
+// ascending order.
+func (w *World) Receivers(u ident.NodeID) []ident.NodeID {
+	var out []ident.NodeID
+	for _, v := range w.Nodes() {
+		if v != u && w.CanReach(u, v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// segmentsCross reports proper intersection between segments pq and ab
+// (shared endpoints count as crossing — a wall touching the link blocks it,
+// the conservative choice for an obstacle model).
+func segmentsCross(p, q, a, b Point) bool {
+	d1 := orient(a, b, p)
+	d2 := orient(a, b, q)
+	d3 := orient(p, q, a)
+	d4 := orient(p, q, b)
+	if ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+		((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0)) {
+		return true
+	}
+	return onSegment(a, b, p) || onSegment(a, b, q) || onSegment(p, q, a) || onSegment(p, q, b)
+}
+
+func orient(a, b, c Point) float64 {
+	return (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+}
+
+func onSegment(a, b, p Point) bool {
+	if orient(a, b, p) != 0 {
+		return false
+	}
+	return math.Min(a.X, b.X) <= p.X && p.X <= math.Max(a.X, b.X) &&
+		math.Min(a.Y, b.Y) <= p.Y && p.Y <= math.Max(a.Y, b.Y)
+}

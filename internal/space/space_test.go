@@ -1,0 +1,109 @@
+package space
+
+import (
+	"testing"
+
+	"repro/internal/ident"
+)
+
+func TestCanReachUnitDisk(t *testing.T) {
+	w := NewWorld(5)
+	w.Place(1, Point{0, 0})
+	w.Place(2, Point{3, 4}) // dist 5
+	w.Place(3, Point{6, 8}) // dist 10
+	if !w.CanReach(1, 2) || !w.CanReach(2, 1) {
+		t.Fatal("nodes at exactly range must reach")
+	}
+	if w.CanReach(1, 3) || w.CanReach(3, 1) {
+		t.Fatal("out of range must not reach")
+	}
+	if w.CanReach(1, 1) {
+		t.Fatal("self reach must be false")
+	}
+	if w.CanReach(1, 99) || w.CanReach(99, 1) {
+		t.Fatal("absent node must not reach")
+	}
+}
+
+func TestAsymmetricRanges(t *testing.T) {
+	w := NewWorld(5)
+	w.TxRange = map[ident.NodeID]float64{2: 1}
+	w.Place(1, Point{0, 0})
+	w.Place(2, Point{3, 0})
+	if !w.CanReach(1, 2) {
+		t.Fatal("1→2 should reach (range 5)")
+	}
+	if w.CanReach(2, 1) {
+		t.Fatal("2→1 should not reach (range 1)")
+	}
+	g := w.SymmetricGraph()
+	if g.HasEdge(1, 2) {
+		t.Fatal("asymmetric link must not appear in the symmetric graph")
+	}
+	if g.NumNodes() != 2 {
+		t.Fatal("isolated nodes must still appear")
+	}
+}
+
+func TestWallBlocksLink(t *testing.T) {
+	w := NewWorld(10)
+	w.Place(1, Point{0, 0})
+	w.Place(2, Point{4, 0})
+	w.Walls = []Segment{{Point{2, -1}, Point{2, 1}}}
+	if w.CanReach(1, 2) {
+		t.Fatal("wall must block the link")
+	}
+	w.Walls = []Segment{{Point{2, 1}, Point{2, 3}}}
+	if !w.CanReach(1, 2) {
+		t.Fatal("wall off the line must not block")
+	}
+}
+
+func TestWallTouchingEndpointBlocks(t *testing.T) {
+	w := NewWorld(10)
+	w.Place(1, Point{0, 0})
+	w.Place(2, Point{4, 0})
+	w.Walls = []Segment{{Point{4, 0}, Point{4, 5}}}
+	if w.CanReach(1, 2) {
+		t.Fatal("wall touching receiver blocks (conservative)")
+	}
+}
+
+func TestSymmetricGraphLine(t *testing.T) {
+	w := NewWorld(1.5)
+	for i := 1; i <= 4; i++ {
+		w.Place(ident.NodeID(i), Point{float64(i), 0})
+	}
+	g := w.SymmetricGraph()
+	if g.NumEdges() != 3 || !g.HasEdge(1, 2) || g.HasEdge(1, 3) {
+		t.Fatalf("line graph wrong: %v", g)
+	}
+}
+
+func TestReceiversAndRemove(t *testing.T) {
+	w := NewWorld(2)
+	w.Place(1, Point{0, 0})
+	w.Place(2, Point{1, 0})
+	w.Place(3, Point{2, 0})
+	got := w.Receivers(1)
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("Receivers = %v", got)
+	}
+	w.Remove(3)
+	if got := w.Receivers(1); len(got) != 1 {
+		t.Fatalf("after remove: %v", got)
+	}
+	if _, ok := w.Pos(3); ok {
+		t.Fatal("removed node still present")
+	}
+}
+
+func TestPointHelpers(t *testing.T) {
+	p := Point{1, 2}.Add(3, 4)
+	if p != (Point{4, 6}) {
+		t.Fatalf("Add = %v", p)
+	}
+	if d := (Point{0, 0}).Dist(Point{3, 4}); d != 5 {
+		t.Fatalf("Dist = %v", d)
+	}
+}

@@ -1,0 +1,127 @@
+// Package trace provides the structured event log and table writers used
+// by the experiment harness: experiments append typed rows; the writers
+// emit aligned text tables (for the console and EXPERIMENTS.md) and TSV
+// (for external plotting).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-oriented result table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable returns an empty table with the given title and column names.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(values ...interface{}) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3g", x)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "== %s ==\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(widths) {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if err := line(t.Columns); err != nil {
+		return err
+	}
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(seps); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteMarkdown renders the table as a GitHub-flavored markdown table.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "### %s\n\n", t.Title); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(t.Columns, " | ")); err != nil {
+		return err
+	}
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | ")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | ")); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteTSV renders tab-separated values with a header row.
+func (t *Table) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, strings.Join(t.Columns, "\t")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package wire
+
+import (
+	"testing"
+
+	"repro/internal/antlist"
+)
+
+// FuzzDecode throws arbitrary bytes at the frame decoder: it must never
+// panic, and decoding is a normalization — re-encoding an accepted frame
+// and decoding again must be a fixpoint (the decoder defensively sorts
+// and deduplicates hostile input, so byte-level identity only holds for
+// canonical frames; see TestRoundTrip for that case).
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Encode(sampleMessage()))
+	buf := Encode(sampleMessage())
+	f.Add(buf[:len(buf)/2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re := Encode(m)
+		m2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded frame rejected: %v", err)
+		}
+		if string(Encode(m2)) != string(re) {
+			t.Fatalf("normalization not idempotent:\n 1st %x\n 2nd %x", re, Encode(m2))
+		}
+	})
+}
+
+// FuzzDecodeList drives the antlist codec with raw bytes: no panics, and
+// accepted lists must satisfy the Set ordering invariant.
+func FuzzDecodeList(f *testing.F) {
+	l := antlist.List{antlist.NewSet()}
+	b, _ := l.MarshalBinary()
+	f.Add(b)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, _, err := antlist.DecodeList(data)
+		if err != nil {
+			return
+		}
+		for _, s := range got {
+			for i := 1; i < len(s); i++ {
+				if s[i].ID <= s[i-1].ID {
+					t.Fatalf("unsorted set decoded: %v", s)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,185 @@
+// Package wire is the frame codec for GRP messages: the byte format a
+// real radio or UDP deployment would broadcast. The paper's Airplug
+// implementation exchanged text frames between processes; this codec
+// plays that role for the Go runtime, and doubles as the authoritative
+// definition of the protocol's control-message overhead (experiment E11
+// reports EncodedSize, which this package keeps honest: encoding then
+// decoding any message is the identity).
+//
+// Frame layout (little endian):
+//
+//	magic  u16 = 0x4752 ("GR")
+//	ver    u8  = 1
+//	from   u32
+//	gprio  u64 clock + u32 id
+//	list   (see antlist codec)
+//	nprio  u16 count, then per record: u32 id, u64 clock, u32 owner
+//	gprios u16 count, same record shape
+//	quars  u16 count, then per record: u32 id, u8 remaining
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/antlist"
+	"repro/internal/core"
+	"repro/internal/ident"
+	"repro/internal/priority"
+)
+
+const (
+	magic   = 0x4752
+	version = 1
+)
+
+var (
+	// ErrTruncated reports a frame shorter than its own structure.
+	ErrTruncated = errors.New("wire: truncated frame")
+	// ErrBadMagic reports a frame that is not a GRP frame.
+	ErrBadMagic = errors.New("wire: bad magic or version")
+)
+
+// Encode serializes a protocol message into a fresh frame.
+func Encode(m core.Message) []byte {
+	return AppendEncode(nil, m)
+}
+
+// AppendEncode serializes m, appending to dst.
+func AppendEncode(dst []byte, m core.Message) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, magic)
+	dst = append(dst, version)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(m.From))
+	dst = appendPrio(dst, m.GroupPrio)
+	dst = m.List.AppendBinary(dst)
+	dst = appendPrioMap(dst, m.Prios)
+	dst = appendPrioMap(dst, m.GroupPrios)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(m.Quars)))
+	for _, id := range sortedIDs(m.Quars) {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(id))
+		q := m.Quars[id]
+		if q < 0 {
+			q = 0
+		}
+		if q > 255 {
+			q = 255
+		}
+		dst = append(dst, byte(q))
+	}
+	return dst
+}
+
+// Decode parses a frame back into a protocol message.
+func Decode(buf []byte) (core.Message, error) {
+	var m core.Message
+	if len(buf) < 2+1+4 {
+		return m, ErrTruncated
+	}
+	if binary.LittleEndian.Uint16(buf) != magic || buf[2] != version {
+		return m, ErrBadMagic
+	}
+	m.From = ident.NodeID(binary.LittleEndian.Uint32(buf[3:]))
+	buf = buf[7:]
+	var err error
+	if m.GroupPrio, buf, err = readPrio(buf); err != nil {
+		return m, err
+	}
+	if m.List, buf, err = antlist.DecodeList(buf); err != nil {
+		return m, fmt.Errorf("wire: list: %w", err)
+	}
+	if m.Prios, buf, err = readPrioMap(buf); err != nil {
+		return m, err
+	}
+	if m.GroupPrios, buf, err = readPrioMap(buf); err != nil {
+		return m, err
+	}
+	if len(buf) < 2 {
+		return m, ErrTruncated
+	}
+	nq := int(binary.LittleEndian.Uint16(buf))
+	buf = buf[2:]
+	if len(buf) < nq*5 {
+		return m, ErrTruncated
+	}
+	m.Quars = make(map[ident.NodeID]int, nq)
+	for i := 0; i < nq; i++ {
+		id := ident.NodeID(binary.LittleEndian.Uint32(buf))
+		m.Quars[id] = int(buf[4])
+		buf = buf[5:]
+	}
+	if len(buf) != 0 {
+		return m, fmt.Errorf("wire: %d trailing bytes", len(buf))
+	}
+	return m, nil
+}
+
+func appendPrio(dst []byte, p priority.P) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, p.Clock)
+	return binary.LittleEndian.AppendUint32(dst, uint32(p.ID))
+}
+
+func readPrio(buf []byte) (priority.P, []byte, error) {
+	if len(buf) < 12 {
+		return priority.P{}, buf, ErrTruncated
+	}
+	p := priority.P{
+		Clock: binary.LittleEndian.Uint64(buf),
+		ID:    ident.NodeID(binary.LittleEndian.Uint32(buf[8:])),
+	}
+	return p, buf[12:], nil
+}
+
+func appendPrioMap(dst []byte, m map[ident.NodeID]priority.P) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(m)))
+	for _, id := range sortedPrioIDs(m) {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(id))
+		dst = appendPrio(dst, m[id])
+	}
+	return dst
+}
+
+func readPrioMap(buf []byte) (map[ident.NodeID]priority.P, []byte, error) {
+	if len(buf) < 2 {
+		return nil, buf, ErrTruncated
+	}
+	n := int(binary.LittleEndian.Uint16(buf))
+	buf = buf[2:]
+	if len(buf) < n*16 {
+		return nil, buf, ErrTruncated
+	}
+	out := make(map[ident.NodeID]priority.P, n)
+	for i := 0; i < n; i++ {
+		id := ident.NodeID(binary.LittleEndian.Uint32(buf))
+		p, rest, err := readPrio(buf[4:])
+		if err != nil {
+			return nil, buf, err
+		}
+		out[id] = p
+		buf = rest
+	}
+	return out, buf, nil
+}
+
+func sortedIDs(m map[ident.NodeID]int) []ident.NodeID {
+	out := make([]ident.NodeID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sortIDs(out)
+	return out
+}
+
+func sortedPrioIDs(m map[ident.NodeID]priority.P) []ident.NodeID {
+	out := make([]ident.NodeID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sortIDs(out)
+	return out
+}
+
+func sortIDs(ids []ident.NodeID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

@@ -1,0 +1,143 @@
+package wire
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/antlist"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/ident"
+	"repro/internal/priority"
+	"repro/internal/sim"
+)
+
+func sampleMessage() core.Message {
+	return core.Message{
+		From: 3,
+		List: antlist.List{
+			antlist.NewSet(ident.Plain(3)),
+			antlist.NewSet(ident.Plain(1), ident.Single(2)),
+			antlist.NewSet(ident.Double(9)),
+		},
+		Prios: map[ident.NodeID]priority.P{
+			1: {Clock: 7, ID: 1}, 2: {Clock: 9, ID: 2}, 3: {Clock: 2, ID: 3},
+		},
+		GroupPrios: map[ident.NodeID]priority.P{
+			1: {Clock: 2, ID: 3}, 3: {Clock: 2, ID: 3},
+		},
+		GroupPrio: priority.P{Clock: 2, ID: 3},
+		Quars:     map[ident.NodeID]int{1: 2},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	m := sampleMessage()
+	got, err := Decode(Encode(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, m)
+	}
+}
+
+func TestRejectsTruncationEverywhere(t *testing.T) {
+	buf := Encode(sampleMessage())
+	for cut := 0; cut < len(buf); cut++ {
+		if _, err := Decode(buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d accepted", cut, len(buf))
+		}
+	}
+}
+
+func TestRejectsTrailingGarbage(t *testing.T) {
+	buf := append(Encode(sampleMessage()), 0xFF)
+	if _, err := Decode(buf); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestRejectsBadMagicAndVersion(t *testing.T) {
+	buf := Encode(sampleMessage())
+	bad := append([]byte(nil), buf...)
+	bad[0] ^= 0xFF
+	if _, err := Decode(bad); err != ErrBadMagic {
+		t.Fatalf("bad magic: %v", err)
+	}
+	bad = append([]byte(nil), buf...)
+	bad[2] = 99
+	if _, err := Decode(bad); err != ErrBadMagic {
+		t.Fatalf("bad version: %v", err)
+	}
+}
+
+func TestQuarClamping(t *testing.T) {
+	m := sampleMessage()
+	m.Quars = map[ident.NodeID]int{1: 1000, 2: -3}
+	got, err := Decode(Encode(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Quars[1] != 255 || got.Quars[2] != 0 {
+		t.Fatalf("clamping wrong: %v", got.Quars)
+	}
+}
+
+// TestQuickLiveMessagesRoundTrip drives a real simulation and round-trips
+// every message a node would actually broadcast.
+func TestQuickLiveMessagesRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		s := sim.NewStatic(sim.Params{Cfg: core.Config{Dmax: 3}, Seed: seed}, graph.Line(6))
+		s.StepTicks(20 + int(uint64(seed)%17))
+		for _, n := range s.Nodes {
+			m := n.BuildMessage()
+			got, err := Decode(Encode(m))
+			if err != nil {
+				return false
+			}
+			if !got.List.Equal(m.List) || got.From != m.From || got.GroupPrio != m.GroupPrio {
+				return false
+			}
+			if !reflect.DeepEqual(normalize(got.Prios), normalize(m.Prios)) {
+				return false
+			}
+			if !reflect.DeepEqual(normalize(got.GroupPrios), normalize(m.GroupPrios)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// normalize maps empty to nil so DeepEqual ignores the distinction.
+func normalize(m map[ident.NodeID]priority.P) map[ident.NodeID]priority.P {
+	if len(m) == 0 {
+		return nil
+	}
+	return m
+}
+
+func TestEncodedSizeMatchesEstimate(t *testing.T) {
+	// core.Message.EncodedSize is the overhead experiments' estimate; the
+	// real frame must stay within a small constant of it.
+	s := sim.NewStatic(sim.Params{Cfg: core.Config{Dmax: 4}, Seed: 2}, graph.Line(8))
+	s.StepTicks(40)
+	for _, n := range s.Nodes {
+		m := n.BuildMessage()
+		real := len(Encode(m))
+		est := m.EncodedSize()
+		diff := real - est
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 16+len(m.Prios)*4+len(m.GroupPrios)*4 {
+			t.Fatalf("estimate %d vs frame %d too far apart", est, real)
+		}
+	}
+}
