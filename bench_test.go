@@ -9,11 +9,16 @@ package grp
 // code with the full seed count.
 
 import (
+	"math/rand"
+	"sort"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/graph"
+	"repro/internal/ident"
+	"repro/internal/radio"
 	"repro/internal/sim"
 )
 
@@ -160,6 +165,122 @@ func BenchmarkSimRound100Nodes(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.StepRound()
+	}
+}
+
+// legacySim replicates the seed engine's strictly sequential Step() for
+// the perf trajectory: the full node set is re-sorted twice per tick and
+// every node is scanned with the modulo timer test — the exact hot path
+// the phase-parallel engine replaced.
+type legacySim struct {
+	cfg     core.Config
+	ts, tc  int
+	g       *graph.G
+	nodes   map[ident.NodeID]*core.Node
+	rng     *rand.Rand
+	tick    int
+	channel radio.Channel
+}
+
+func newLegacySim(g *graph.G, dmax int, seed int64) *legacySim {
+	s := &legacySim{
+		cfg: core.Config{Dmax: dmax}, ts: 1, tc: 2, g: g,
+		nodes:   make(map[ident.NodeID]*core.Node),
+		rng:     rand.New(rand.NewSource(seed)),
+		channel: radio.Perfect{},
+	}
+	for _, v := range g.Nodes() {
+		s.nodes[v] = core.NewNode(v, s.cfg)
+	}
+	return s
+}
+
+func (s *legacySim) sortedNodes() []ident.NodeID {
+	out := make([]ident.NodeID, 0, len(s.nodes))
+	for v := range s.nodes {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (s *legacySim) step() {
+	var txs []radio.Tx
+	for _, v := range s.sortedNodes() {
+		if s.tick%s.ts == 0 {
+			rcv := s.g.Neighbors(v)
+			live := rcv[:0:0]
+			for _, u := range rcv {
+				if _, ok := s.nodes[u]; ok {
+					live = append(live, u)
+				}
+			}
+			txs = append(txs, radio.Tx{Sender: v, Receivers: live})
+		}
+	}
+	if len(txs) > 0 {
+		built := make(map[ident.NodeID]core.Message, len(txs))
+		for _, tx := range txs {
+			built[tx.Sender] = s.nodes[tx.Sender].BuildMessage()
+		}
+		for _, d := range s.channel.DeliverSlot(txs, s.rng) {
+			if n, ok := s.nodes[d.To]; ok {
+				n.Receive(built[d.From])
+			}
+		}
+	}
+	for _, v := range s.sortedNodes() {
+		if s.tick%s.tc == 0 {
+			s.nodes[v].Compute()
+		}
+	}
+	s.tick++
+}
+
+// BenchmarkSimStep is the engine micro-benchmark at N=1000 nodes: one
+// tick of the hot path, on the seed's sequential loop (replicated above),
+// on the new engine's sequential path, and on the engine at 4 workers.
+// The engine numbers are what every scaling experiment (E7, E13, soak)
+// pays per tick.
+func BenchmarkSimStep(b *testing.B) {
+	const n = 1000
+	b.Run("seed-path", func(b *testing.B) {
+		s := newLegacySim(graph.Line(n), 4, 1)
+		for i := 0; i < 100; i++ {
+			s.step() // settle into steady state
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.step()
+		}
+	})
+	for _, workers := range []int{1, 4} {
+		name := "engine-seq"
+		if workers > 1 {
+			name = "engine-4workers"
+		}
+		b.Run(name, func(b *testing.B) {
+			s := engine.NewStatic(engine.Params{Cfg: core.Config{Dmax: 4}, Seed: 1, Workers: workers}, graph.Line(n))
+			s.StepTicks(100)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkSimSnapshot measures the incremental snapshot construction on
+// a static topology (the per-round cost RunUntilConverged pays on top of
+// stepping).
+func BenchmarkSimSnapshot(b *testing.B) {
+	s := engine.NewStatic(engine.Params{Cfg: core.Config{Dmax: 4}, Seed: 1}, graph.Line(1000))
+	s.StepTicks(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if snap := s.Snapshot(); snap.G.NumNodes() != 1000 {
+			b.Fatal("bad snapshot")
+		}
 	}
 }
 

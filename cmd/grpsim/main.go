@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	grpsim -topo line -n 8 -dmax 3 -rounds 60 [-seed 1] [-loss 0.1] [-watch]
+//	grpsim -topo line -n 8 -dmax 3 -rounds 60 [-seed 1] [-loss 0.1] [-watch] [-workers 4]
 //	grpsim -topo highway -n 12 -dmax 4 -rounds 120
 //
 // Topologies: line, ring, grid (rows x cols ≈ n), star, clique, clusters,
@@ -19,11 +19,11 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/ident"
 	"repro/internal/mobility"
 	"repro/internal/radio"
-	"repro/internal/sim"
 	"repro/internal/space"
 )
 
@@ -35,9 +35,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	loss := flag.Float64("loss", 0, "i.i.d. message loss probability")
 	watch := flag.Bool("watch", false, "print groups every round (default: only on change)")
+	workers := flag.Int("workers", 1, "engine worker fan-out (same trace at any width)")
 	flag.Parse()
 
-	p := sim.Params{Cfg: core.Config{Dmax: *dmax}, Seed: *seed}
+	p := engine.Params{Cfg: core.Config{Dmax: *dmax}, Seed: *seed, Workers: *workers}
 	if *loss > 0 {
 		p.Channel = radio.Lossy{P: *loss}
 	}
@@ -68,46 +69,46 @@ func main() {
 	fmt.Printf("traffic: %d msgs, %d bytes, %d deliveries\n", s.MessagesSent, s.BytesSent, s.Deliveries)
 }
 
-func build(p sim.Params, topo string, n int, seed int64) (*sim.Sim, error) {
+func build(p engine.Params, topo string, n int, seed int64) (*engine.Engine, error) {
 	switch topo {
 	case "line":
-		return sim.NewStatic(p, graph.Line(n)), nil
+		return engine.NewStatic(p, graph.Line(n)), nil
 	case "ring":
-		return sim.NewStatic(p, graph.Ring(n)), nil
+		return engine.NewStatic(p, graph.Ring(n)), nil
 	case "grid":
 		side := int(math.Sqrt(float64(n)))
 		if side < 1 {
 			side = 1
 		}
-		return sim.NewStatic(p, graph.Grid(side, (n+side-1)/side)), nil
+		return engine.NewStatic(p, graph.Grid(side, (n+side-1)/side)), nil
 	case "star":
-		return sim.NewStatic(p, graph.Star(n)), nil
+		return engine.NewStatic(p, graph.Star(n)), nil
 	case "clique":
-		return sim.NewStatic(p, graph.Complete(n)), nil
+		return engine.NewStatic(p, graph.Complete(n)), nil
 	case "clusters":
 		k := n / 4
 		if k < 2 {
 			k = 2
 		}
-		return sim.NewStatic(p, graph.Clusters(k, 4, 0, false)), nil
+		return engine.NewStatic(p, graph.Clusters(k, 4, 0, false)), nil
 	case "rgg":
 		g := graph.ConnectedRandomGeometric(n, 12, 3, rand.New(rand.NewSource(seed)), 300)
 		if g == nil {
 			return nil, fmt.Errorf("no connected rgg instance for n=%d seed=%d", n, seed)
 		}
-		return sim.NewStatic(p, g), nil
+		return engine.NewStatic(p, g), nil
 	case "highway":
 		w := space.NewWorld(8)
 		m := &mobility.Highway{Length: 80, Lanes: 2, LaneGap: 2, SpeedMin: 10, SpeedMax: 14}
-		return sim.New(p, sim.NewSpatialTopology(w, m, 0.05, ids(n), rand.New(rand.NewSource(seed)))), nil
+		return engine.New(p, engine.NewSpatialTopology(w, m, 0.05, ids(n), rand.New(rand.NewSource(seed)))), nil
 	case "waypoint":
 		w := space.NewWorld(6)
 		m := &mobility.Waypoint{Side: 25, SpeedMin: 0.5, SpeedMax: 1.5, Pause: 2}
-		return sim.New(p, sim.NewSpatialTopology(w, m, 0.2, ids(n), rand.New(rand.NewSource(seed)))), nil
+		return engine.New(p, engine.NewSpatialTopology(w, m, 0.2, ids(n), rand.New(rand.NewSource(seed)))), nil
 	case "convoy":
 		w := space.NewWorld(4)
 		m := &mobility.Convoy{Spacing: 3, Speed: 8}
-		return sim.New(p, sim.NewSpatialTopology(w, m, 0.1, ids(n), rand.New(rand.NewSource(seed)))), nil
+		return engine.New(p, engine.NewSpatialTopology(w, m, 0.1, ids(n), rand.New(rand.NewSource(seed)))), nil
 	default:
 		return nil, fmt.Errorf("unknown topology %q", topo)
 	}

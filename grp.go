@@ -9,7 +9,9 @@
 //   - NewNode / Config — the pure protocol state machine (drive it with
 //     your own transport by calling Receive, Compute and BuildMessage).
 //   - NewSim / NewStaticSim — the deterministic discrete-event simulator
-//     used by every experiment.
+//     used by every experiment, backed by the phase-parallel engine of
+//     internal/engine: set SimParams.Workers > 1 to fan node work out
+//     over a worker pool with a bit-identical trace.
 //   - NewLiveCluster — the goroutine-per-node live runtime: nodes exchange
 //     messages over channels through a router, as a deployment would.
 //   - Snapshot — the specification predicates ΠA, ΠS, ΠM, ΠT, ΠC.

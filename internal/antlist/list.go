@@ -139,8 +139,44 @@ func (l List) Truncate(n int) List {
 // shift). The protocol handles them at reception instead — goodList rejects
 // any list containing an empty set, exactly as the paper specifies.
 func (l List) Normalize() List {
-	seen := make(map[ident.NodeID]bool, l.NodeCount())
+	if l.NodeCount() <= 32 {
+		// Small lists — the overwhelmingly common case (a list holds at
+		// most one group's worth of nodes) — dedup by scanning the kept
+		// prefix positions: quadratic in principle, but allocation-free,
+		// where the map-based path pays a map per ⊕. Clean lists (every
+		// steady-state fold) return the receiver itself, merely resliced
+		// past any empty tail.
+		dirty := false
+	scan:
+		for i, s := range l {
+			for _, e := range s {
+				for _, prev := range l[:i] {
+					if prev.Has(e.ID) {
+						dirty = true
+						break scan
+					}
+				}
+			}
+		}
+		if !dirty {
+			return trimTail(l)
+		}
+		out := make(List, 0, len(l))
+		for _, s := range l {
+			kept := out
+			out = append(out, s.Filter(func(e ident.Entry) bool {
+				for _, prev := range kept {
+					if prev.Has(e.ID) {
+						return false
+					}
+				}
+				return true
+			}))
+		}
+		return trimTail(out)
+	}
 	out := make(List, 0, len(l))
+	seen := make(map[ident.NodeID]bool, l.NodeCount())
 	for _, s := range l {
 		out = append(out, s.Filter(func(e ident.Entry) bool {
 			if seen[e.ID] {
@@ -150,13 +186,20 @@ func (l List) Normalize() List {
 			return true
 		}))
 	}
-	for len(out) > 0 && len(out[len(out)-1]) == 0 {
-		out = out[:len(out)-1]
+	return trimTail(out)
+}
+
+// trimTail drops trailing empty sets (by reslicing — the backing array is
+// shared, which is safe for immutable lists), mapping the all-empty list
+// to nil.
+func trimTail(l List) List {
+	for len(l) > 0 && len(l[len(l)-1]) == 0 {
+		l = l[:len(l)-1]
 	}
-	if len(out) == 0 {
+	if len(l) == 0 {
 		return nil
 	}
-	return out
+	return l
 }
 
 // Merge is the ⊕ operator: position-wise union followed by normalization
@@ -183,8 +226,21 @@ func (l List) Shift() List {
 }
 
 // Ant is the r-operator ant(l, o) = l ⊕ r(o): fold a neighbor's list into
-// the local one, at one hop more.
-func (l List) Ant(o List) List { return l.Merge(o.Shift()) }
+// the local one, at one hop more. Equivalent to l.Merge(o.Shift()), but
+// merging with the shift as an index offset instead of materializing the
+// shifted copy — this runs once per (node, neighbor) per compute.
+func (l List) Ant(o List) List {
+	n := len(l)
+	if len(o)+1 > n {
+		n = len(o) + 1
+	}
+	out := make(List, n)
+	out[0] = l.At(0)
+	for i := 1; i < n; i++ {
+		out[i] = l.At(i).Union(o.At(i - 1))
+	}
+	return out.Normalize()
+}
 
 // Equal reports whether two lists are identical (positions, IDs and marks).
 func (l List) Equal(o List) bool {

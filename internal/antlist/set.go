@@ -78,12 +78,15 @@ func (s Set) Remove(id ident.NodeID) Set {
 }
 
 // Union merges two sets; when both contain an ID the strongest mark wins.
+// One-sided unions return the non-empty side unchanged — sets are
+// immutable, so the sharing is safe, and it keeps the ⊕ fold from cloning
+// the longer list's every level on each merge.
 func (s Set) Union(o Set) Set {
 	if len(s) == 0 {
-		return o.Clone()
+		return o
 	}
 	if len(o) == 0 {
-		return s.Clone()
+		return s
 	}
 	out := make(Set, 0, len(s)+len(o))
 	i, j := 0, 0
@@ -139,12 +142,25 @@ func (s Set) IDs() []ident.NodeID {
 	return out
 }
 
-// Filter returns the entries satisfying keep, preserving order.
+// Filter returns the entries satisfying keep, preserving order. When
+// nothing is rejected the receiver itself is returned (sets are
+// immutable, so sharing is safe); this makes the no-op case — the steady
+// state of every per-compute cleaning pass — allocation-free.
 func (s Set) Filter(keep func(ident.Entry) bool) Set {
-	var out Set
-	for _, e := range s {
-		if keep(e) {
-			out = append(out, e)
+	i := 0
+	for ; i < len(s); i++ {
+		if !keep(s[i]) {
+			break
+		}
+	}
+	if i == len(s) {
+		return s
+	}
+	out := make(Set, i, len(s)-1)
+	copy(out, s[:i])
+	for i++; i < len(s); i++ {
+		if keep(s[i]) {
+			out = append(out, s[i])
 		}
 	}
 	return out

@@ -145,6 +145,15 @@ type Node struct {
 	synced   bool                    // one-time clock sync at first contact done
 
 	computes uint64
+	version  uint64 // bumped on every observable-state change (Compute, LoadState)
+
+	// Per-node scratch reused across computes (never escapes): the view
+	// and quarantine double-buffers swap with the live maps each round,
+	// and workBuf holds the round's checked senders. Rebuilding these
+	// maps every compute was the protocol's top allocation site at scale.
+	viewSpare map[ident.NodeID]bool
+	quarSpare map[ident.NodeID]int
+	workBuf   map[ident.NodeID]*incoming
 }
 
 // NewNode returns a freshly booted node: alone in its list and view, clock
@@ -165,6 +174,10 @@ func NewNode(id ident.NodeID, cfg Config) *Node {
 		msgSet:   make(map[ident.NodeID]Message),
 		rejected: make(map[ident.NodeID]uint64),
 		streak:   make(map[ident.NodeID]int),
+
+		viewSpare: make(map[ident.NodeID]bool),
+		quarSpare: make(map[ident.NodeID]int),
+		workBuf:   make(map[ident.NodeID]*incoming),
 	}
 	n.group = n.self
 	return n
@@ -212,6 +225,13 @@ func (n *Node) GroupPriority() priority.P { return n.group }
 // logical time on this node).
 func (n *Node) Computes() uint64 { return n.computes }
 
+// Version returns a counter that increases whenever the node's observable
+// protocol state may have changed (every Compute and LoadState). The
+// outputs of BuildMessage, View and List are pure functions of the state
+// at a given version, which is what lets a driver cache the broadcast
+// between computes instead of re-assembling it on every send timer.
+func (n *Node) Version() uint64 { return n.version }
+
 // QuarantineOf returns the remaining quarantine of u, or -1 when u is not
 // tracked (absent or marked in the list).
 func (n *Node) QuarantineOf(u ident.NodeID) int {
@@ -229,12 +249,20 @@ func (n *Node) QuarantineOf(u ident.NodeID) int {
 func (n *Node) LoadState(list antlist.List, view map[ident.NodeID]bool, quar map[ident.NodeID]int, self priority.P) {
 	n.list = list.Clone()
 	if view != nil {
-		n.view = view
+		// Copy: the node recycles its view/quarantine maps as scratch
+		// buffers across computes, so it must own them outright.
+		n.view = make(map[ident.NodeID]bool, len(view))
+		for k, v := range view {
+			n.view[k] = v
+		}
 	} else {
 		n.view = map[ident.NodeID]bool{n.id: true}
 	}
 	if quar != nil {
-		n.quar = quar
+		n.quar = make(map[ident.NodeID]int, len(quar))
+		for k, v := range quar {
+			n.quar[k] = v
+		}
 	} else {
 		n.quar = map[ident.NodeID]int{n.id: 0}
 		for _, u := range list.IDs() {
@@ -248,6 +276,7 @@ func (n *Node) LoadState(list antlist.List, view map[ident.NodeID]bool, quar map
 	n.rejected = make(map[ident.NodeID]uint64)
 	n.streak = make(map[ident.NodeID]int)
 	n.synced = true
+	n.version++
 }
 
 // Receive stores a neighbor's message. Only the last message per sender is
@@ -264,32 +293,41 @@ func (n *Node) Receive(m Message) {
 func (n *Node) PendingMessages() int { return len(n.msgSet) }
 
 // BuildMessage assembles the broadcast for the Ts timer: the current list
-// with the priorities of every node in it and the group priority.
+// with the priorities of every node in it and the group priority. The
+// result is immutable and a pure function of the node's state (see
+// Version), so drivers may cache and share it between computes.
 func (n *Node) BuildMessage() Message {
-	prios := make(map[ident.NodeID]priority.P)
-	gprios := make(map[ident.NodeID]priority.P)
-	for _, u := range n.list.IDs() {
-		if p, ok := n.prios[u]; ok {
-			prios[u] = p
-		} else {
-			prios[u] = priority.Infinite
-		}
-		switch {
-		case n.view[u]:
-			gprios[u] = n.group
-		default:
-			if g, ok := n.gprs[u]; ok {
-				gprios[u] = g
+	count := n.list.NodeCount() + 1
+	prios := make(map[ident.NodeID]priority.P, count)
+	gprios := make(map[ident.NodeID]priority.P, count)
+	for _, s := range n.list {
+		for _, e := range s {
+			u := e.ID
+			if p, ok := n.prios[u]; ok {
+				prios[u] = p
 			} else {
-				gprios[u] = prios[u]
+				prios[u] = priority.Infinite
+			}
+			switch {
+			case n.view[u]:
+				gprios[u] = n.group
+			default:
+				if g, ok := n.gprs[u]; ok {
+					gprios[u] = g
+				} else {
+					gprios[u] = prios[u]
+				}
 			}
 		}
 	}
 	prios[n.id] = n.self
 	gprios[n.id] = n.group
-	quars := make(map[ident.NodeID]int)
+	var quars map[ident.NodeID]int
 	for u, q := range n.quar {
 		if q > 0 {
+			if quars == nil {
+				quars = make(map[ident.NodeID]int)
+			}
 			quars[u] = q
 		}
 	}
@@ -356,7 +394,8 @@ func (n *Node) Compute() {
 	// incompatible senders — this is what lets a lone node bridging two
 	// far-apart groups side with one of them instead of absorbing both
 	// and being punished by each in turn.
-	work := make(map[ident.NodeID]*incoming, len(senders))
+	work := n.workBuf
+	clear(work)
 	partial := antlist.Singleton(ident.Plain(n.id))
 	for _, u := range senders {
 		msg := n.msgSet[u]
@@ -432,9 +471,12 @@ func (n *Node) Compute() {
 		// sender's already-admitted members (entries it lists without a
 		// quarantine) syncs to the same k, and both sides' views flip in
 		// the same round.
-		heard := make(map[ident.NodeID]int)
+		var heard map[ident.NodeID]int // lazily allocated: empty at steady state
 		for _, u := range senders {
 			msg := work[u].msg
+			if len(msg.Quars) > 0 && heard == nil {
+				heard = make(map[ident.NodeID]int)
+			}
 			for id, q := range msg.Quars {
 				if cur, ok := heard[id]; !ok || q < cur {
 					heard[id] = q
@@ -456,7 +498,8 @@ func (n *Node) Compute() {
 				}
 			}
 		}
-		nq := make(map[ident.NodeID]int, newList.NodeCount())
+		nq := n.quarSpare
+		clear(nq)
 		for _, s := range newList {
 			for _, e := range s {
 				if e.Mark.Marked() {
@@ -481,6 +524,7 @@ func (n *Node) Compute() {
 			}
 		}
 		nq[n.id] = 0
+		n.quarSpare = n.quar
 		n.quar = nq
 	} else {
 		n.quar = map[ident.NodeID]int{n.id: 0}
@@ -490,7 +534,8 @@ func (n *Node) Compute() {
 	}
 
 	// Line 31: the view is the plain-marked nodes with null quarantine.
-	nv := make(map[ident.NodeID]bool)
+	nv := n.viewSpare
+	clear(nv)
 	for _, s := range newList {
 		for _, e := range s {
 			if !e.Mark.Marked() && n.quar[e.ID] == 0 {
@@ -534,6 +579,7 @@ func (n *Node) Compute() {
 	n.prios[n.id] = n.self
 
 	n.list = newList
+	n.viewSpare = n.view
 	n.view = nv
 
 	// Group priority: the smallest priority of the view's members.
@@ -545,8 +591,11 @@ func (n *Node) Compute() {
 	}
 	n.group = gp
 
-	// Line 5 of the main algorithm: reset msgSet to detect departures.
-	n.msgSet = make(map[ident.NodeID]Message)
+	// Line 5 of the main algorithm: reset msgSet to detect departures
+	// (clearing in place: the map is node-private and reallocating it
+	// every compute was a top allocation site at scale).
+	clear(n.msgSet)
+	n.version++
 }
 
 // escalate records one incompatibility observation against sender u and
@@ -615,11 +664,27 @@ func (n *Node) reject(u ident.NodeID) {
 // the rejection is symmetric (Proposition 3's reading: after line 2 the
 // double-marked node no longer appears in the list it received).
 func (n *Node) cleanReceived(l antlist.List) antlist.List {
+	keep := func(e ident.Entry) bool {
+		return !e.Mark.Marked() || (e.ID == n.id && e.Mark == ident.MarkSingle)
+	}
+	// Fast path: interior nodes of a settled group receive all-plain
+	// lists, where the deletion pass keeps everything — and a sender's
+	// list is already normalized, so the whole call is the identity.
+	clean := true
+	for _, s := range l {
+		for _, e := range s {
+			if !keep(e) {
+				clean = false
+				break
+			}
+		}
+	}
+	if clean {
+		return l.Normalize()
+	}
 	out := make(antlist.List, 0, len(l))
 	for _, s := range l {
-		out = append(out, s.Filter(func(e ident.Entry) bool {
-			return !e.Mark.Marked() || (e.ID == n.id && e.Mark == ident.MarkSingle)
-		}))
+		out = append(out, s.Filter(keep))
 	}
 	return out.Normalize()
 }
@@ -864,6 +929,10 @@ func holeTruncate(l antlist.List) antlist.List {
 //     This re-propagates the source's current value along BFS paths every
 //     round, so stale values wash out in O(Dmax) computes instead of
 //     circulating as poison.
+//
+// The lookups run per tracked node over the (few) senders rather than
+// materializing intermediate freshest-advertisement maps over every ID
+// any sender mentioned — same result, two maps built instead of five.
 func (n *Node) learnPriorities(newList antlist.List, work map[ident.NodeID]*incoming) {
 	senders := make([]ident.NodeID, 0, len(work))
 	for u := range work {
@@ -871,44 +940,59 @@ func (n *Node) learnPriorities(newList antlist.List, work map[ident.NodeID]*inco
 	}
 	sort.Slice(senders, func(i, j int) bool { return senders[i] < senders[j] })
 
-	fresh := make(map[ident.NodeID]priority.P)
-	gfresh := make(map[ident.NodeID]priority.P)
-	gpos := make(map[ident.NodeID]int)
-	for _, u := range senders {
-		inc := work[u]
-		for id, p := range inc.msg.Prios {
-			if cur, ok := fresh[id]; !ok || cur.Less(p) {
-				fresh[id] = p
+	// The caches are updated in place: each tracked node's entry is read
+	// (fallback) before it is written, and stale entries are pruned after
+	// the pass — same result as rebuilding both maps, without the two
+	// allocations per compute.
+	for _, s := range newList {
+		for _, e := range s {
+			u := e.ID
+			// Node priority: clocks are monotone, the freshest
+			// advertisement is the largest.
+			best, found := priority.Infinite, false
+			for _, sid := range senders {
+				if p, ok := work[sid].msg.Prios[u]; ok && (!found || best.Less(p)) {
+					best, found = p, true
+				}
 			}
-		}
-		for id, p := range inc.msg.GroupPrios {
-			pos, _ := inc.msg.List.Position(id)
-			if pos < 0 {
-				continue
+			if found {
+				n.prios[u] = best
 			}
-			if best, ok := gpos[id]; !ok || pos < best {
-				gpos[id] = pos
-				gfresh[id] = p
+			// Group priority: the provider knowing u at the smallest list
+			// position wins (shortest witness chain), smallest sender ID
+			// breaking ties via the ascending iteration.
+			bestPos := -1
+			var gbest priority.P
+			for _, sid := range senders {
+				msg := &work[sid].msg
+				p, ok := msg.GroupPrios[u]
+				if !ok {
+					continue
+				}
+				pos, _ := msg.List.Position(u)
+				if pos < 0 {
+					continue
+				}
+				if bestPos < 0 || pos < bestPos {
+					bestPos, gbest = pos, p
+				}
+			}
+			if bestPos >= 0 {
+				n.gprs[u] = gbest
 			}
 		}
 	}
-	np := make(map[ident.NodeID]priority.P, newList.NodeCount())
-	ng := make(map[ident.NodeID]priority.P, newList.NodeCount())
-	for _, u := range newList.IDs() {
-		if p, ok := fresh[u]; ok {
-			np[u] = p
-		} else if p, ok := n.prios[u]; ok {
-			np[u] = p
-		}
-		if p, ok := gfresh[u]; ok {
-			ng[u] = p
-		} else if p, ok := n.gprs[u]; ok {
-			ng[u] = p
+	n.prios[n.id] = n.self
+	for k := range n.prios {
+		if k != n.id && !newList.Has(k) {
+			delete(n.prios, k)
 		}
 	}
-	np[n.id] = n.self
-	n.prios = np
-	n.gprs = ng
+	for k := range n.gprs {
+		if k != n.id && !newList.Has(k) {
+			delete(n.gprs, k)
+		}
+	}
 }
 
 // String summarizes the node for debugging.

@@ -1,0 +1,455 @@
+// Package engine is the shared execution substrate under both drivers of
+// the GRP reproduction: the deterministic phase-parallel scheduler that
+// internal/sim wraps for every experiment, and the topology/membership
+// abstractions the live goroutine runtime (internal/runtime) routes
+// through.
+//
+// One Step is five phases:
+//
+//  1. advance   — the topology moves (mobility), on the global RNG stream;
+//  2. build     — every node whose send timer fires assembles its
+//     broadcast, fanned out over a worker pool;
+//  3. arbitrate — the radio channel decides which receptions succeed, on
+//     the global RNG stream;
+//  4. deliver   — successful receptions are stored at the receivers,
+//     fanned out over the worker pool;
+//  5. compute   — every node whose compute timer fires runs the protocol
+//     computation, fanned out over the worker pool.
+//
+// Parallelism is deterministic by construction (in the spirit of
+// deterministic parallel frameworks such as Bobpp): node work is sharded
+// by NodeID into a fixed number of shards (independent of the worker
+// count), every shard is processed sequentially in a canonical order, and
+// each shard owns a private RNG stream derived from the seed. Workers
+// only ever race for *which* shard they process next, never for the order
+// of effects inside a shard, and cross-shard effects (message delivery)
+// are partitioned by receiver before the parallel phase starts. A fixed
+// seed therefore yields bit-identical traces at any GOMAXPROCS and any
+// Workers setting.
+//
+// Phases 2 and 5 read and write disjoint per-node state (core.Node is
+// only ever touched by its own shard's worker; messages are immutable
+// once built), so the fan-out needs no locks.
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/ident"
+	"repro/internal/metrics"
+	"repro/internal/radio"
+)
+
+// NumShards is the fixed shard count node work is partitioned into. It is
+// deliberately independent of Params.Workers and of GOMAXPROCS: per-shard
+// state (RNG streams, canonical order) is what makes the parallel trace
+// reproducible, so it must not change when the worker count does.
+const NumShards = 64
+
+// shardOf maps a node to its shard.
+func shardOf(v ident.NodeID) int { return int(uint32(v) % NumShards) }
+
+// shardSeed derives shard s's private RNG seed from the run seed
+// (splitmix64 finalizer, so neighboring shards get uncorrelated streams).
+func shardSeed(seed int64, s int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(s+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// Params configures a simulation run.
+type Params struct {
+	// Cfg is the protocol configuration (Dmax etc.).
+	Cfg core.Config
+	// Ts is the send period in ticks (τ2); default 1.
+	Ts int
+	// Tc is the compute period in ticks (τ1 ≥ τ2); default 2·Ts.
+	Tc int
+	// Channel is the radio model; default radio.Perfect.
+	Channel radio.Channel
+	// Jitter desynchronizes the nodes' timers with random phase offsets.
+	Jitter bool
+	// RandomizedSends redraws each node's next send instant after every
+	// transmission (uniform in [1, Ts], so the mean period stays ≈ Ts/2
+	// + 1): the CSMA-style backoff that makes the fair-channel hypothesis
+	// hold on the collision channel — with fixed phases, two aligned
+	// neighbors would collide deterministically forever.
+	RandomizedSends bool
+	// Seed drives all randomness (mobility, channel, jitter, send
+	// backoff). The same seed reproduces the same execution bit for bit
+	// regardless of Workers.
+	Seed int64
+	// Workers sets the build/deliver/compute fan-out width; 0 or 1 runs
+	// the phases inline (the sequential path), larger values use that
+	// many goroutines. The trace is identical either way.
+	Workers int
+}
+
+func (p *Params) normalize() {
+	if p.Ts <= 0 {
+		p.Ts = 1
+	}
+	if p.Tc <= 0 {
+		p.Tc = 2 * p.Ts
+	}
+	if p.Tc < p.Ts {
+		panic(fmt.Sprintf("engine: Tc (%d) must be ≥ Ts (%d)", p.Tc, p.Ts))
+	}
+	if p.Channel == nil {
+		p.Channel = radio.Perfect{}
+	}
+}
+
+// shardScratch is one shard's reusable per-tick buffers.
+type shardScratch struct {
+	txs   []radio.Tx
+	bytes int
+	deliv []radio.Delivery
+}
+
+// cachedMsg is one node's last built broadcast, valid while the node's
+// state version is unchanged (a node's message is a pure function of its
+// state, which only Compute and LoadState move — see core.Node.Version).
+// At Tc = k·Ts this skips k−1 of every k message assemblies.
+type cachedMsg struct {
+	m    core.Message
+	size int // EncodedSize, computed once per rebuild
+	ver  uint64
+}
+
+// Engine is one running simulation.
+type Engine struct {
+	P     Params
+	Topo  Topology
+	Nodes map[ident.NodeID]*core.Node
+
+	rng       *rand.Rand // global stream: topology + channel + jitter phases
+	shardRNGs [NumShards]*rand.Rand
+	tick      int
+	phase     map[ident.NodeID]int
+
+	order     *Roster
+	memberGen uint64
+
+	sendWheel    *periodicWheel // fixed-phase sends (nil under RandomizedSends)
+	sendOneshot  *oneshotWheel  // randomized sends (nil otherwise)
+	computeWheel *periodicWheel
+
+	scratch [NumShards]shardScratch
+	txsBuf  []radio.Tx
+
+	// msgCache and recvCache are sharded so the build workers can fill
+	// them without locks: a shard's maps are only ever written by the
+	// worker holding that shard (or by the coordinator between phases).
+	msgCache [NumShards]map[ident.NodeID]cachedMsg
+	recv     [NumShards]map[ident.NodeID][]ident.NodeID
+	recvG    *graph.G // receiver-cache key: graph pointer ...
+	recvGen  uint64   // ... its mutation generation ...
+	recvMem  uint64   // ... and the engine membership generation
+
+	snap metrics.SnapshotBuilder
+
+	// MessagesSent counts broadcasts; BytesSent their encoded sizes;
+	// Deliveries successful receptions.
+	MessagesSent int
+	BytesSent    int
+	Deliveries   int
+}
+
+// New builds a simulation over the topology with one fresh GRP node per
+// topology node.
+func New(p Params, topo Topology) *Engine {
+	p.normalize()
+	e := &Engine{
+		P:            p,
+		Topo:         topo,
+		Nodes:        make(map[ident.NodeID]*core.Node),
+		rng:          rand.New(rand.NewSource(p.Seed)),
+		phase:        make(map[ident.NodeID]int),
+		order:        NewRoster(),
+		computeWheel: newPeriodicWheel(p.Tc),
+	}
+	for s := range e.shardRNGs {
+		e.shardRNGs[s] = rand.New(rand.NewSource(shardSeed(p.Seed, s)))
+		e.msgCache[s] = make(map[ident.NodeID]cachedMsg)
+		e.recv[s] = make(map[ident.NodeID][]ident.NodeID)
+	}
+	if p.RandomizedSends {
+		e.sendOneshot = newOneshotWheel(p.Ts)
+	} else {
+		e.sendWheel = newPeriodicWheel(p.Ts)
+	}
+	for _, v := range topo.Nodes() {
+		e.addNode(v)
+	}
+	return e
+}
+
+// NewStatic is shorthand for a fixed-graph simulation.
+func NewStatic(p Params, g *graph.G) *Engine {
+	return New(p, &StaticTopology{G: g})
+}
+
+func (e *Engine) addNode(v ident.NodeID) {
+	e.Nodes[v] = core.NewNode(v, e.P.Cfg)
+	e.order.Add(v)
+	e.memberGen++
+	if e.P.Jitter {
+		e.phase[v] = e.rng.Intn(e.P.Tc)
+	}
+	if e.P.RandomizedSends {
+		e.sendOneshot.schedule(v, e.tick+e.shardRNGs[shardOf(v)].Intn(e.P.Ts))
+	} else {
+		e.sendWheel.add(v, e.phase[v])
+	}
+	e.computeWheel.add(v, e.phase[v])
+}
+
+// AddNode introduces a fresh node mid-run (it must already be present in
+// the topology, e.g. placed in the world or added to the static graph).
+func (e *Engine) AddNode(v ident.NodeID) {
+	if _, ok := e.Nodes[v]; ok {
+		return
+	}
+	e.addNode(v)
+}
+
+// RemoveNode makes a node leave: it stops sending and computing. The
+// caller removes it from the topology.
+func (e *Engine) RemoveNode(v ident.NodeID) {
+	if _, ok := e.Nodes[v]; !ok {
+		return
+	}
+	delete(e.Nodes, v)
+	e.order.Remove(v)
+	e.memberGen++
+	delete(e.msgCache[shardOf(v)], v)
+	if e.P.RandomizedSends {
+		e.sendOneshot.removeEverywhere(v)
+	} else {
+		e.sendWheel.remove(v, e.phase[v])
+	}
+	e.computeWheel.remove(v, e.phase[v])
+	delete(e.phase, v)
+}
+
+// Tick returns the current tick count.
+func (e *Engine) Tick() int { return e.tick }
+
+// Rand exposes the simulation's global RNG for workload builders that
+// must stay in lockstep with the run's determinism.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Order returns the current node population in ascending order (the
+// roster's backing slice: read-only, valid until the next membership
+// change).
+func (e *Engine) Order() []ident.NodeID { return e.order.IDs() }
+
+// workers resolves the effective fan-out width.
+func (e *Engine) workers() int {
+	if e.P.Workers > NumShards {
+		return NumShards
+	}
+	return e.P.Workers
+}
+
+// runShards applies fn to every shard: inline when Workers ≤ 1, else on a
+// pool of Workers goroutines with a static shard-to-worker assignment.
+// fn must only touch shard-local state (plus read-only shared state).
+func (e *Engine) runShards(fn func(s int)) {
+	w := e.workers()
+	if w <= 1 {
+		for s := 0; s < NumShards; s++ {
+			fn(s)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func(i int) {
+			defer wg.Done()
+			for s := i; s < NumShards; s += w {
+				fn(s)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Step advances one tick through the five phases: advance topology, build
+// due broadcasts, arbitrate the channel, deliver receptions, run due
+// computes.
+func (e *Engine) Step() {
+	// Phase 1: topology (global RNG stream).
+	e.Topo.Advance(e.rng)
+
+	// Phase 2: build. The wheel hands each shard exactly its due senders
+	// in canonical order; workers draw send backoffs from their shard's
+	// private stream, so the draw sequence is independent of the worker
+	// count. Broadcasts and receiver sets come from the shard caches:
+	// messages revalidate against the node's state version, receiver sets
+	// against the (topology, membership) generations checked below.
+	g := e.Topo.Graph()
+	if g != e.recvG || g.Generation() != e.recvGen || e.memberGen != e.recvMem {
+		for s := range e.recv {
+			clear(e.recv[s])
+		}
+		e.recvG, e.recvGen, e.recvMem = g, g.Generation(), e.memberGen
+	}
+	var due *shardBuckets
+	if e.P.RandomizedSends {
+		due = e.sendOneshot.take(e.tick)
+	} else {
+		due = e.sendWheel.due(e.tick)
+	}
+	e.runShards(func(s int) {
+		sc := &e.scratch[s]
+		sc.txs = sc.txs[:0]
+		sc.bytes = 0
+		for _, v := range due[s] {
+			n, ok := e.Nodes[v]
+			if !ok {
+				continue
+			}
+			if e.P.RandomizedSends {
+				e.sendOneshot.schedule(v, e.tick+1+e.shardRNGs[s].Intn(e.P.Ts))
+			}
+			live, ok := e.recv[s][v]
+			if !ok {
+				// Filter into an engine-owned slice: the Topology
+				// interface only promises read-only access to whatever
+				// Receivers returns, and this copy is cached across ticks.
+				rcv := e.Topo.Receivers(v)
+				live = make([]ident.NodeID, 0, len(rcv))
+				for _, u := range rcv {
+					if _, alive := e.Nodes[u]; alive {
+						live = append(live, u)
+					}
+				}
+				e.recv[s][v] = live
+			}
+			cm, ok := e.msgCache[s][v]
+			if !ok || cm.ver != n.Version() {
+				m := n.BuildMessage()
+				cm = cachedMsg{m: m, size: m.EncodedSize(), ver: n.Version()}
+				e.msgCache[s][v] = cm
+			}
+			sc.txs = append(sc.txs, radio.Tx{Sender: v, Receivers: live})
+			sc.bytes += cm.size
+		}
+	})
+	if e.P.RandomizedSends {
+		e.sendOneshot.reset(e.tick)
+	}
+
+	// Merge the shard results in shard-major order — the canonical slot
+	// order the channel sees, identical at any worker count.
+	txs := e.txsBuf[:0]
+	for s := range e.scratch {
+		sc := &e.scratch[s]
+		txs = append(txs, sc.txs...)
+		e.MessagesSent += len(sc.txs)
+		e.BytesSent += sc.bytes
+	}
+	e.txsBuf = txs
+
+	if len(txs) > 0 {
+		// Phase 3: channel arbitration (global RNG stream, sequential).
+		deliveries := e.P.Channel.DeliverSlot(txs, e.rng)
+
+		// Phase 4: deliver. Receptions are partitioned by receiver shard
+		// on the coordinator, then stored in parallel: each node's inbox
+		// is only ever touched by its own shard's worker.
+		for s := range e.scratch {
+			e.scratch[s].deliv = e.scratch[s].deliv[:0]
+		}
+		for _, d := range deliveries {
+			if _, ok := e.Nodes[d.To]; !ok {
+				continue
+			}
+			sc := &e.scratch[shardOf(d.To)]
+			sc.deliv = append(sc.deliv, d)
+			e.Deliveries++
+		}
+		e.runShards(func(s int) {
+			for _, d := range e.scratch[s].deliv {
+				e.Nodes[d.To].Receive(e.msgCache[shardOf(d.From)][d.From].m)
+			}
+		})
+	}
+
+	// Phase 5: compute.
+	cdue := e.computeWheel.due(e.tick)
+	e.runShards(func(s int) {
+		for _, v := range cdue[s] {
+			if n, ok := e.Nodes[v]; ok {
+				n.Compute()
+			}
+		}
+	})
+
+	e.tick++
+}
+
+// StepTicks advances k ticks.
+func (e *Engine) StepTicks(k int) {
+	for i := 0; i < k; i++ {
+		e.Step()
+	}
+}
+
+// StepRound advances one full compute period (Tc ticks): every node sends
+// at least Tc/Ts times and computes at least once — the fair-channel
+// window τ1.
+func (e *Engine) StepRound() { e.StepTicks(e.P.Tc) }
+
+// Snapshot captures the current configuration for the metrics predicates.
+// Only live protocol nodes contribute views. The view maps are fresh on
+// every call (snapshots are routinely held across rounds); the restricted
+// topology graph is served from the builder's cache and only re-derived
+// when the topology or the membership actually changed — on a static
+// topology this removes the per-round O(V+E) graph clone entirely.
+func (e *Engine) Snapshot() metrics.Snapshot {
+	views := make(map[ident.NodeID]map[ident.NodeID]bool, len(e.Nodes))
+	for _, v := range e.order.IDs() {
+		views[v] = e.Nodes[v].ViewSet()
+	}
+	g := e.snap.Graph(e.Topo.Graph(), e.memberGen, func(v ident.NodeID) bool {
+		_, ok := e.Nodes[v]
+		return ok
+	})
+	return metrics.Snapshot{G: g, Views: views}
+}
+
+// RunUntilConverged steps whole rounds until the legitimacy predicate
+// ΠA ∧ ΠS ∧ ΠM holds for `stable` consecutive rounds or maxRounds passes.
+// It returns the number of rounds to first convergence and whether
+// convergence was reached.
+func (e *Engine) RunUntilConverged(maxRounds, stable int) (rounds int, ok bool) {
+	if stable < 1 {
+		stable = 1
+	}
+	streak := 0
+	first := 0
+	for r := 1; r <= maxRounds; r++ {
+		e.StepRound()
+		if e.Snapshot().Converged(e.P.Cfg.Dmax) {
+			if streak == 0 {
+				first = r
+			}
+			streak++
+			if streak >= stable {
+				return first, true
+			}
+		} else {
+			streak = 0
+		}
+	}
+	return maxRounds, false
+}

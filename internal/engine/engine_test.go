@@ -1,0 +1,234 @@
+package engine
+
+import (
+	"math/rand"
+	"runtime"
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/ident"
+	"repro/internal/metrics"
+	"repro/internal/mobility"
+	"repro/internal/radio"
+	"repro/internal/space"
+)
+
+// fingerprint renders a snapshot bit-exactly: every node's view in
+// ascending order plus the topology's edge set.
+func fingerprint(s metrics.Snapshot) string {
+	b := make([]byte, 0, 512)
+	for _, v := range s.G.Nodes() {
+		b = strconv.AppendUint(b, uint64(v), 10)
+		b = append(b, '>')
+		for _, u := range s.G.Neighbors(v) {
+			b = strconv.AppendUint(b, uint64(u), 10)
+			b = append(b, ',')
+		}
+		b = append(b, '|')
+		vw := s.Views[v]
+		for _, u := range setToSorted(vw) {
+			b = strconv.AppendUint(b, uint64(u), 10)
+			b = append(b, ',')
+		}
+		b = append(b, ';')
+	}
+	return string(b)
+}
+
+func setToSorted(m map[ident.NodeID]bool) []ident.NodeID {
+	out := make([]ident.NodeID, 0, len(m))
+	for v := ident.NodeID(0); len(out) < len(m); v++ {
+		if m[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// scenario builds one run of the given worker width: a mobile spatial
+// topology, a lossy channel, jitter and randomized sends all at once, so
+// every RNG consumer (global stream and per-shard streams) is exercised,
+// plus mid-run churn to cover the wheels' add/remove paths.
+func scenario(workers int) []string {
+	w := space.NewWorld(6)
+	ids := make([]ident.NodeID, 14)
+	for i := range ids {
+		ids[i] = ident.NodeID(i + 1)
+	}
+	topo := NewSpatialTopology(w, &mobility.Waypoint{Side: 14, SpeedMin: 0.5, SpeedMax: 2, Pause: 1},
+		0.2, ids, rand.New(rand.NewSource(99)))
+	e := New(Params{
+		Cfg:             core.Config{Dmax: 3},
+		Ts:              2,
+		Tc:              4,
+		Channel:         radio.Lossy{P: 0.2},
+		Jitter:          true,
+		RandomizedSends: true,
+		Seed:            7,
+		Workers:         workers,
+	}, topo)
+	var out []string
+	for r := 1; r <= 30; r++ {
+		e.StepRound()
+		switch r {
+		case 10:
+			e.RemoveNode(3)
+			w.Remove(3)
+		case 18:
+			w.Place(20, space.Point{X: 7, Y: 7})
+			e.AddNode(20)
+		}
+		out = append(out, fingerprint(e.Snapshot()))
+	}
+	return out
+}
+
+// TestDeterministicAcrossWorkersAndProcs is the engine's core contract:
+// the sequential path (Workers ≤ 1) and the parallel engine produce
+// bit-identical per-round snapshots for the same seed, at GOMAXPROCS 1
+// and 4 alike.
+func TestDeterministicAcrossWorkersAndProcs(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	runtime.GOMAXPROCS(1)
+	want := scenario(1) // the sequential path
+	for _, procs := range []int{1, 4} {
+		runtime.GOMAXPROCS(procs)
+		for _, workers := range []int{1, 2, 4, NumShards + 5} {
+			got := scenario(workers)
+			for r := range want {
+				if got[r] != want[r] {
+					t.Fatalf("GOMAXPROCS=%d workers=%d: round %d diverges:\n seq: %s\n par: %s",
+						procs, workers, r+1, want[r], got[r])
+				}
+			}
+		}
+	}
+}
+
+// TestParallelMatchesSequentialStatic pins the same contract on the
+// static-topology fast path (no mobility, perfect channel, fixed phases)
+// where the RNG is barely consumed and the wheels do all the scheduling.
+func TestParallelMatchesSequentialStatic(t *testing.T) {
+	run := func(workers int) []string {
+		e := NewStatic(Params{Cfg: core.Config{Dmax: 4}, Seed: 3, Workers: workers}, graph.Line(30))
+		var out []string
+		for r := 0; r < 40; r++ {
+			e.StepRound()
+			out = append(out, fingerprint(e.Snapshot()))
+		}
+		return out
+	}
+	seq, par := run(1), run(4)
+	for r := range seq {
+		if seq[r] != par[r] {
+			t.Fatalf("round %d diverges", r+1)
+		}
+	}
+}
+
+// TestEngineConvergesParallel sanity-checks that a parallel run still
+// satisfies the legitimacy predicate (the protocol semantics survived the
+// phase split).
+func TestEngineConvergesParallel(t *testing.T) {
+	e := NewStatic(Params{Cfg: core.Config{Dmax: 3}, Seed: 1, Workers: 4}, graph.Line(10))
+	if _, ok := e.RunUntilConverged(400, 3); !ok {
+		t.Fatalf("no convergence: %v", e.Snapshot().Groups())
+	}
+	if !e.Snapshot().Converged(3) {
+		t.Fatal("snapshot not legitimate")
+	}
+}
+
+// TestSnapshotCacheTracksMutation guards the incremental snapshot
+// builder: a link cut in the static graph must be visible in the next
+// snapshot while snapshots taken before the cut keep the old topology.
+func TestSnapshotCacheTracksMutation(t *testing.T) {
+	g := graph.Line(6)
+	e := NewStatic(Params{Cfg: core.Config{Dmax: 4}, Seed: 1}, g)
+	e.StepRound()
+	before := e.Snapshot()
+	if !before.G.HasEdge(3, 4) {
+		t.Fatal("edge missing before cut")
+	}
+	mid := e.Snapshot()
+	if mid.G != before.G {
+		t.Fatal("unchanged topology should reuse the cached graph")
+	}
+	g.RemoveEdge(3, 4)
+	after := e.Snapshot()
+	if after.G.HasEdge(3, 4) {
+		t.Fatal("cut not reflected in fresh snapshot")
+	}
+	if !before.G.HasEdge(3, 4) {
+		t.Fatal("held snapshot was mutated by the cache rebuild")
+	}
+	e.RemoveNode(6)
+	if e.Snapshot().G.HasNode(6) {
+		t.Fatal("removed node still in snapshot graph")
+	}
+}
+
+// TestWheelsMatchModuloScan cross-checks the timer wheels against the
+// seed's per-node modulo formula over every phase and tick.
+func TestWheelsMatchModuloScan(t *testing.T) {
+	const period = 5
+	w := newPeriodicWheel(period)
+	phases := map[ident.NodeID]int{1: 0, 2: 1, 3: 4, 4: 0, 70: 3, 130: 3}
+	for v, p := range phases {
+		w.add(v, p)
+	}
+	for tick := 0; tick < 3*period; tick++ {
+		want := map[ident.NodeID]bool{}
+		for v, p := range phases {
+			if (tick+p)%period == 0 {
+				want[v] = true
+			}
+		}
+		got := map[ident.NodeID]bool{}
+		for _, b := range w.due(tick) {
+			for _, v := range b {
+				got[v] = true
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("tick %d: due=%v want=%v", tick, got, want)
+		}
+		for v := range want {
+			if !got[v] {
+				t.Fatalf("tick %d: missing %v", tick, v)
+			}
+		}
+	}
+	w.remove(70, phases[70])
+	for _, b := range w.due(2) { // slot of phase 3 at period 5
+		for _, v := range b {
+			if v == 70 {
+				t.Fatal("removed node still scheduled")
+			}
+		}
+	}
+}
+
+func TestRosterOrder(t *testing.T) {
+	r := NewRoster()
+	for _, v := range []ident.NodeID{5, 1, 9, 3, 7} {
+		r.Add(v)
+	}
+	r.Add(3) // duplicate
+	r.Remove(9)
+	want := []ident.NodeID{1, 3, 5, 7}
+	ids := r.IDs()
+	if len(ids) != len(want) {
+		t.Fatalf("ids=%v", ids)
+	}
+	for i, v := range want {
+		if ids[i] != v {
+			t.Fatalf("ids=%v want=%v", ids, want)
+		}
+	}
+	if r.Has(9) || !r.Has(7) || r.Len() != 4 {
+		t.Fatal("membership bookkeeping broken")
+	}
+}

@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"sort"
+
+	"repro/internal/ident"
+)
+
+// Roster is an incrementally maintained, ascending-ordered node
+// membership: the replacement for re-sorting the whole node set every
+// time a canonical order is needed. Insertions and removals keep the
+// slice sorted (O(n) memmove, but membership churn is rare next to the
+// per-tick hot path, which only ever reads). It is not goroutine-safe;
+// the engine mutates it only between phases and the live runtime guards
+// it with the cluster lock.
+type Roster struct {
+	ids []ident.NodeID
+	set map[ident.NodeID]bool
+}
+
+// NewRoster returns an empty roster.
+func NewRoster() *Roster {
+	return &Roster{set: make(map[ident.NodeID]bool)}
+}
+
+// Add inserts v keeping the order; it reports whether v was new.
+func (r *Roster) Add(v ident.NodeID) bool {
+	if r.set[v] {
+		return false
+	}
+	r.set[v] = true
+	i := sort.Search(len(r.ids), func(i int) bool { return r.ids[i] >= v })
+	r.ids = append(r.ids, 0)
+	copy(r.ids[i+1:], r.ids[i:])
+	r.ids[i] = v
+	return true
+}
+
+// Remove deletes v; it reports whether v was present.
+func (r *Roster) Remove(v ident.NodeID) bool {
+	if !r.set[v] {
+		return false
+	}
+	delete(r.set, v)
+	i := sort.Search(len(r.ids), func(i int) bool { return r.ids[i] >= v })
+	r.ids = append(r.ids[:i], r.ids[i+1:]...)
+	return true
+}
+
+// Has reports membership.
+func (r *Roster) Has(v ident.NodeID) bool { return r.set[v] }
+
+// Len returns the member count.
+func (r *Roster) Len() int { return len(r.ids) }
+
+// IDs returns the members in ascending order. The slice is the roster's
+// backing store: callers must not mutate it and must copy it if they keep
+// it across an Add or Remove.
+func (r *Roster) IDs() []ident.NodeID { return r.ids }

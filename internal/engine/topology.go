@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/ident"
+	"repro/internal/mobility"
+	"repro/internal/space"
+)
+
+// Topology abstracts where messages can travel at the current instant.
+// Both drivers share it: the deterministic engine advances it once per
+// tick, the live runtime routes broadcasts through Receivers.
+type Topology interface {
+	// Advance moves the topology forward by one tick.
+	Advance(rng *rand.Rand)
+	// Graph returns the current symmetric communication graph.
+	Graph() *graph.G
+	// Receivers returns the nodes that can hear a broadcast from v. It
+	// must be safe for concurrent read-only use (the build phase calls it
+	// from several workers at once), and it must be coherent with Graph():
+	// the receiver sets may only change together with the identity or
+	// mutation generation of the graph Graph() returns. The engine caches
+	// receiver sets on that key (a Receivers that drifted under an
+	// unchanged graph could not be replayed deterministically anyway);
+	// topologies whose vicinity changes every tick must, like
+	// SpatialTopology, produce a fresh or generation-bumped graph in
+	// Advance.
+	Receivers(v ident.NodeID) []ident.NodeID
+	// Nodes returns the current node population in ascending order.
+	Nodes() []ident.NodeID
+}
+
+// StaticTopology is a fixed graph (possibly mutated between ticks by the
+// experiment itself, e.g. to inject a link cut).
+type StaticTopology struct{ G *graph.G }
+
+// Advance implements Topology (no motion).
+func (t *StaticTopology) Advance(*rand.Rand) {}
+
+// Graph implements Topology.
+func (t *StaticTopology) Graph() *graph.G { return t.G }
+
+// Receivers implements Topology: the graph's neighbors.
+func (t *StaticTopology) Receivers(v ident.NodeID) []ident.NodeID { return t.G.Neighbors(v) }
+
+// Nodes implements Topology.
+func (t *StaticTopology) Nodes() []ident.NodeID { return t.G.Nodes() }
+
+// SpatialTopology animates a Euclidean world with a mobility model; the
+// communication graph is recomputed from positions every tick.
+type SpatialTopology struct {
+	World *space.World
+	Mob   mobility.Model
+	// DT is the simulated time per tick fed to the mobility model.
+	DT float64
+
+	cached *graph.G
+}
+
+// NewSpatialTopology initializes the world with the mobility model's
+// placement for the given nodes.
+func NewSpatialTopology(w *space.World, mob mobility.Model, dt float64, nodes []ident.NodeID, rng *rand.Rand) *SpatialTopology {
+	mob.Init(w, nodes, rng)
+	t := &SpatialTopology{World: w, Mob: mob, DT: dt}
+	t.cached = w.SymmetricGraph()
+	return t
+}
+
+// Advance implements Topology.
+func (t *SpatialTopology) Advance(rng *rand.Rand) {
+	t.Mob.Step(t.World, t.DT, rng)
+	t.cached = t.World.SymmetricGraph()
+}
+
+// Graph implements Topology.
+func (t *SpatialTopology) Graph() *graph.G { return t.cached }
+
+// Receivers implements Topology: the world's vicinity relation (which may
+// be asymmetric; the protocol is in charge of symmetry detection).
+func (t *SpatialTopology) Receivers(v ident.NodeID) []ident.NodeID { return t.World.Receivers(v) }
+
+// Nodes implements Topology.
+func (t *SpatialTopology) Nodes() []ident.NodeID { return t.World.Nodes() }

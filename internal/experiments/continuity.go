@@ -4,12 +4,12 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/ident"
 	"repro/internal/metrics"
 	"repro/internal/mobility"
 	"repro/internal/radio"
-	"repro/internal/sim"
 	"repro/internal/space"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -111,34 +111,34 @@ func E6Continuity(seeds int) *trace.Table {
 		name string
 		run  func(seed int64) (*metrics.Tracker, *metrics.Tracker)
 	}
-	steady := func(s *sim.Sim, mutate func(int), rounds int) (*metrics.Tracker, *metrics.Tracker) {
+	steady := func(s *engine.Engine, mutate func(int), rounds int) (*metrics.Tracker, *metrics.Tracker) {
 		boot := observeRounds(s, nil, warmup, 4)
 		tr := observeRounds(s, mutate, rounds, 4)
 		return boot, tr
 	}
 	scenarios := []scenario{
 		{"static-line", func(seed int64) (*metrics.Tracker, *metrics.Tracker) {
-			s := sim.NewStatic(sim.Params{Cfg: core.Config{Dmax: 4}, Seed: seed}, graph.Line(6))
+			s := engine.NewStatic(engine.Params{Cfg: core.Config{Dmax: 4}, Seed: seed}, graph.Line(6))
 			return steady(s, nil, 60)
 		}},
 		{"drift-then-cut", func(seed int64) (*metrics.Tracker, *metrics.Tracker) {
 			d := &workload.GentleDrift{N: 6, Dmax: 4, PreserveRounds: 30}
 			g := d.Graph()
-			s := sim.NewStatic(sim.Params{Cfg: core.Config{Dmax: 4}, Seed: seed}, g)
+			s := engine.NewStatic(engine.Params{Cfg: core.Config{Dmax: 4}, Seed: seed}, g)
 			return steady(s, func(round int) { d.Apply(g, round) }, 80)
 		}},
 		{"rigid-convoy", func(seed int64) (*metrics.Tracker, *metrics.Tracker) {
 			w := space.NewWorld(4)
-			topo := sim.NewSpatialTopology(w, &mobility.Convoy{Spacing: 3, Speed: 5}, 0.1, idRange(5), nil)
-			s := sim.New(sim.Params{Cfg: core.Config{Dmax: 4}, Seed: seed}, topo)
+			topo := engine.NewSpatialTopology(w, &mobility.Convoy{Spacing: 3, Speed: 5}, 0.1, idRange(5), nil)
+			s := engine.New(engine.Params{Cfg: core.Config{Dmax: 4}, Seed: seed}, topo)
 			return steady(s, nil, 60)
 		}},
 		{"straggler-convoy", func(seed int64) (*metrics.Tracker, *metrics.Tracker) {
 			w := space.NewWorld(4)
-			topo := sim.NewSpatialTopology(w, &mobility.Convoy{
+			topo := engine.NewSpatialTopology(w, &mobility.Convoy{
 				Spacing: 3, Speed: 5, StragglerEvery: 10, StragglerSlowdown: 2,
 			}, 0.1, idRange(5), nil)
-			s := sim.New(sim.Params{Cfg: core.Config{Dmax: 4}, Seed: seed}, topo)
+			s := engine.New(engine.Params{Cfg: core.Config{Dmax: 4}, Seed: seed}, topo)
 			return steady(s, nil, 80)
 		}},
 	}
@@ -159,7 +159,7 @@ func E6Continuity(seeds int) *trace.Table {
 
 // observeRounds steps the sim round by round, applying the optional
 // topology mutation and feeding the tracker.
-func observeRounds(s *sim.Sim, mutate func(round int), rounds, dmax int) *metrics.Tracker {
+func observeRounds(s *engine.Engine, mutate func(round int), rounds, dmax int) *metrics.Tracker {
 	tr := metrics.NewTracker()
 	tr.Observe(s.Snapshot(), dmax)
 	for r := 0; r < rounds; r++ {
@@ -183,7 +183,7 @@ func E9Loss(seeds int) *trace.Table {
 			conv := 0
 			viol, unexc := 0, 0
 			for seed := int64(1); seed <= int64(seeds); seed++ {
-				s := sim.NewStatic(sim.Params{
+				s := engine.NewStatic(engine.Params{
 					Cfg: core.Config{Dmax: 3}, Seed: seed,
 					Ts: 1, Tc: ratio,
 					Channel: radio.Lossy{P: loss},

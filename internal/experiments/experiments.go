@@ -10,8 +10,8 @@ import (
 	"math/rand"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/graph"
-	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -60,7 +60,7 @@ func E1Stabilization(seeds int) *trace.Table {
 		for _, tc := range topos {
 			healSum, convSum, rec := 0, 0, 0
 			for seed := int64(1); seed <= int64(seeds); seed++ {
-				s := sim.NewStatic(sim.Params{Cfg: core.Config{Dmax: tc.dmax}, Seed: seed}, tc.g())
+				s := engine.NewStatic(engine.Params{Cfg: core.Config{Dmax: tc.dmax}, Seed: seed}, tc.g())
 				s.RunUntilConverged(400, 3) // reach legitimacy first
 				workload.Corrupt(s, k.kind, 0.5, rand.New(rand.NewSource(seed*97)))
 				heal := 0
@@ -96,7 +96,7 @@ func E2Agreement(seeds int) *trace.Table {
 		for seed := int64(1); seed <= int64(seeds); seed++ {
 			g := tc.g()
 			n = g.NumNodes()
-			s := sim.NewStatic(sim.Params{Cfg: core.Config{Dmax: tc.dmax}, Seed: seed, Jitter: seed%2 == 0}, g)
+			s := engine.NewStatic(engine.Params{Cfg: core.Config{Dmax: tc.dmax}, Seed: seed, Jitter: seed%2 == 0}, g)
 			r, ok := s.RunUntilConverged(800, 3)
 			snap := s.Snapshot()
 			if ok {
@@ -126,7 +126,7 @@ func E4MergeGadgets(seeds int) *trace.Table {
 	for _, tc := range gadgets {
 		conv, roundsSum, groups := 0, 0, 0
 		for seed := int64(1); seed <= int64(seeds); seed++ {
-			s := sim.NewStatic(sim.Params{Cfg: core.Config{Dmax: tc.dmax}, Seed: seed}, tc.g())
+			s := engine.NewStatic(engine.Params{Cfg: core.Config{Dmax: tc.dmax}, Seed: seed}, tc.g())
 			r, ok := s.RunUntilConverged(800, 3)
 			if ok {
 				conv++
@@ -149,7 +149,7 @@ func E7Scaling(seeds int) (*trace.Table, *trace.Table) {
 	for _, n := range []int{10, 20, 30, 40, 60} {
 		conv, sum := 0, 0
 		for seed := int64(1); seed <= int64(seeds); seed++ {
-			s := sim.NewStatic(sim.Params{Cfg: core.Config{Dmax: 4}, Seed: seed}, graph.Line(n))
+			s := engine.NewStatic(engine.Params{Cfg: core.Config{Dmax: 4}, Seed: seed}, graph.Line(n))
 			if r, ok := s.RunUntilConverged(1200, 3); ok {
 				conv++
 				sum += r
@@ -162,7 +162,7 @@ func E7Scaling(seeds int) (*trace.Table, *trace.Table) {
 	for _, dmax := range []int{2, 3, 4, 6, 8} {
 		conv, sum := 0, 0
 		for seed := int64(1); seed <= int64(seeds); seed++ {
-			s := sim.NewStatic(sim.Params{Cfg: core.Config{Dmax: dmax}, Seed: seed}, graph.Line(24))
+			s := engine.NewStatic(engine.Params{Cfg: core.Config{Dmax: dmax}, Seed: seed}, graph.Line(24))
 			if r, ok := s.RunUntilConverged(1200, 3); ok {
 				conv++
 				sum += r
@@ -189,7 +189,7 @@ func E11Overhead() *trace.Table {
 	for _, tc := range cases {
 		g := tc.g()
 		n := g.NumNodes()
-		s := sim.NewStatic(sim.Params{Cfg: core.Config{Dmax: tc.dmax}, Seed: 1}, g)
+		s := engine.NewStatic(engine.Params{Cfg: core.Config{Dmax: tc.dmax}, Seed: 1}, g)
 		s.RunUntilConverged(600, 3)
 		// Measure a steady window.
 		m0, b0, t0 := s.MessagesSent, s.BytesSent, s.Tick()
@@ -224,7 +224,7 @@ func E13Density(seeds int) *trace.Table {
 			}
 			total++
 			degSum += 2 * float64(g.NumEdges()) / float64(g.NumNodes())
-			s := sim.NewStatic(sim.Params{Cfg: core.Config{Dmax: 3}, Seed: seed}, g)
+			s := engine.NewStatic(engine.Params{Cfg: core.Config{Dmax: 3}, Seed: seed}, g)
 			if _, ok := s.RunUntilConverged(600, 3); ok {
 				conv++
 			}
@@ -261,11 +261,4 @@ func All(seeds int) []*trace.Table {
 		E14Stabilizers(seeds),
 		E15Collision(seeds),
 	}
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

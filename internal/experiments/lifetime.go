@@ -6,11 +6,11 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/ident"
 	"repro/internal/metrics"
 	"repro/internal/mobility"
-	"repro/internal/sim"
 	"repro/internal/space"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -135,8 +135,8 @@ func highwayTrace(n int, spread float64, steps int, seed int64) []*graph.G {
 // one snapshot per round.
 func replayGRP(n, dmax int, spread float64, steps int, seed int64) []metrics.Snapshot {
 	w := space.NewWorld(8)
-	topo := sim.NewSpatialTopology(w, highwayModel(spread), 0.05/float64(2), idRange(n), rand.New(rand.NewSource(seed)))
-	s := sim.New(sim.Params{Cfg: core.Config{Dmax: dmax}, Seed: seed}, topo)
+	topo := engine.NewSpatialTopology(w, highwayModel(spread), 0.05/float64(2), idRange(n), rand.New(rand.NewSource(seed)))
+	s := engine.New(engine.Params{Cfg: core.Config{Dmax: dmax}, Seed: seed}, topo)
 	// Warm up so groups exist before measuring.
 	for i := 0; i < 30; i++ {
 		s.StepRound()
@@ -169,7 +169,7 @@ func E10Ablation(seeds int) *trace.Table {
 			conv, groups := 0, 0
 			size := 0.0
 			for seed := int64(1); seed <= int64(seeds); seed++ {
-				s := sim.NewStatic(sim.Params{
+				s := engine.NewStatic(engine.Params{
 					Cfg:  core.Config{Dmax: tc.dmax, Compat: variant.mode},
 					Seed: seed,
 				}, tc.g())
@@ -202,7 +202,7 @@ func E12Quarantine(seeds int) *trace.Table {
 		changes, unexc := 0, 0
 		for seed := int64(1); seed <= int64(seeds); seed++ {
 			g, _, _ := workload.DoubleJoin(4, 4)
-			s := sim.NewStatic(sim.Params{
+			s := engine.NewStatic(engine.Params{
 				Cfg:  core.Config{Dmax: 4, DisableQuarantine: variant.disable},
 				Seed: seed,
 			}, g)
@@ -242,7 +242,7 @@ func E8bHeadLoss(seeds int) *trace.Table {
 	sums := map[string]*acc{"GRP": {}, "MaxMin": {}}
 	for seed := int64(1); seed <= int64(seeds); seed++ {
 		g := graph.Line(n)
-		s := sim.NewStatic(sim.Params{Cfg: core.Config{Dmax: dmax}, Seed: seed}, g)
+		s := engine.NewStatic(engine.Params{Cfg: core.Config{Dmax: dmax}, Seed: seed}, g)
 		s.RunUntilConverged(400, 3)
 
 		grpTr := metrics.NewTracker()

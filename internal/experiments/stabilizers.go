@@ -4,9 +4,9 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/radio"
-	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -32,7 +32,7 @@ func E14Stabilizers(seeds int) *trace.Table {
 		conv, total, roundsSum := 0, 0, 0
 		for _, tc := range sparseCases() {
 			for seed := int64(1); seed <= int64(seeds); seed++ {
-				s := sim.NewStatic(sim.Params{Cfg: v.cfg(tc.dmax), Seed: seed}, tc.g())
+				s := engine.NewStatic(engine.Params{Cfg: v.cfg(tc.dmax), Seed: seed}, tc.g())
 				total++
 				if r, ok := s.RunUntilConverged(800, 3); ok {
 					conv++
@@ -67,7 +67,7 @@ func E15Collision(seeds int) *trace.Table {
 	for _, c := range cases {
 		conv, roundsSum := 0, 0
 		for seed := int64(1); seed <= int64(seeds); seed++ {
-			s := sim.NewStatic(sim.Params{
+			s := engine.NewStatic(engine.Params{
 				Cfg: core.Config{Dmax: 3}, Seed: seed,
 				Ts: c.ts, Tc: c.tc, Jitter: true, RandomizedSends: c.randomized,
 				Channel: radio.Collision{},

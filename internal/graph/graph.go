@@ -20,6 +20,7 @@ const Infinity = int(^uint(0) >> 1)
 // specification predicates all use the symmetric graph.
 type G struct {
 	adj map[ident.NodeID]map[ident.NodeID]bool
+	gen uint64
 }
 
 // New returns an empty graph.
@@ -40,8 +41,15 @@ func (g *G) Clone() *G {
 	return out
 }
 
+// Generation returns a counter that increases on every mutation of the
+// graph. Consumers that cache derived structures (e.g. the snapshot
+// builder) key their caches on (pointer, generation) to detect in-place
+// mutations such as the experiments' link cuts.
+func (g *G) Generation() uint64 { return g.gen }
+
 // AddNode ensures v exists (possibly isolated).
 func (g *G) AddNode(v ident.NodeID) {
+	g.gen++
 	if g.adj[v] == nil {
 		g.adj[v] = make(map[ident.NodeID]bool)
 	}
@@ -49,6 +57,7 @@ func (g *G) AddNode(v ident.NodeID) {
 
 // RemoveNode deletes v and all its incident edges.
 func (g *G) RemoveNode(v ident.NodeID) {
+	g.gen++
 	for u := range g.adj[v] {
 		delete(g.adj[u], v)
 	}
@@ -69,6 +78,7 @@ func (g *G) AddEdge(u, v ident.NodeID) {
 
 // RemoveEdge deletes the undirected edge (u,v) if present.
 func (g *G) RemoveEdge(u, v ident.NodeID) {
+	g.gen++
 	if g.adj[u] != nil {
 		delete(g.adj[u], v)
 	}
@@ -232,6 +242,26 @@ func (g *G) Equal(o *G) bool {
 // String renders a compact description.
 func (g *G) String() string {
 	return fmt.Sprintf("graph(n=%d, m=%d)", g.NumNodes(), g.NumEdges())
+}
+
+// Restrict returns the subgraph induced by the nodes keep accepts, as a
+// deep copy in one pass (cheaper than Clone followed by RemoveNode per
+// excluded node, which re-walks every excluded node's adjacency).
+func (g *G) Restrict(keep func(ident.NodeID) bool) *G {
+	out := New()
+	for v, nb := range g.adj {
+		if !keep(v) {
+			continue
+		}
+		m := make(map[ident.NodeID]bool, len(nb))
+		for u := range nb {
+			if keep(u) {
+				m[u] = true
+			}
+		}
+		out.adj[v] = m
+	}
+	return out
 }
 
 // NodeSet returns the nodes of g as a set, the shape the induced-subgraph

@@ -1,0 +1,39 @@
+package metrics
+
+import (
+	"repro/internal/graph"
+	"repro/internal/ident"
+)
+
+// SnapshotBuilder incrementally maintains the topology half of a
+// Snapshot. The seed engine cloned the whole communication graph and then
+// deleted the dead nodes on *every* snapshot — O(V+E) maps per round even
+// when nothing moved. The builder instead caches the restricted copy and
+// re-derives it only when the source graph (pointer or generation — the
+// latter catches in-place mutations like the experiments' link cuts) or
+// the live membership changed. The cached graph is handed out shared:
+// that is safe because snapshots are read-only for every predicate, and
+// because the cache is replaced, never mutated, when the topology changes
+// — snapshots held across rounds (Tracker, ΠT/ΠC) keep seeing the
+// topology of their own round.
+type SnapshotBuilder struct {
+	src     *graph.G
+	srcGen  uint64
+	liveGen uint64
+	cached  *graph.G
+}
+
+// Graph returns the subgraph of src induced by the live nodes, served
+// from the cache when neither src nor the membership (keyed by liveGen, a
+// counter the caller bumps on every add/remove) changed since the last
+// call.
+func (b *SnapshotBuilder) Graph(src *graph.G, liveGen uint64, live func(ident.NodeID) bool) *graph.G {
+	if b.cached != nil && b.src == src && b.srcGen == src.Generation() && b.liveGen == liveGen {
+		return b.cached
+	}
+	b.src = src
+	b.srcGen = src.Generation()
+	b.liveGen = liveGen
+	b.cached = src.Restrict(live)
+	return b.cached
+}

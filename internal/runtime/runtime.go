@@ -5,18 +5,24 @@
 // experiments, this package is how the protocol actually deploys — nodes
 // and message passing map one-to-one onto goroutines and channels.
 //
-// The router holds the current communication graph; tests and
-// applications mutate it with SetGraph (e.g. as vehicles move). All
-// interaction with a node's protocol state goes through its goroutine, so
-// there is no shared-memory access to core.Node.
+// The cluster is built on the shared driver layer of internal/engine: the
+// radio relation is an engine.Topology (so a live cluster can route over
+// a fixed graph or any other vicinity relation, exactly like the
+// deterministic engine does), and membership is an engine.Roster, the
+// incrementally ordered node table both drivers share. Tests and
+// applications mutate the topology with SetGraph (e.g. as vehicles move).
+// All interaction with a node's protocol state goes through its
+// goroutine, so there is no shared-memory access to core.Node.
 package runtime
 
 import (
 	"errors"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/ident"
 )
@@ -54,9 +60,11 @@ func (c *Config) normalize() error {
 type Cluster struct {
 	cfg Config
 
-	mu    sync.RWMutex
-	g     *graph.G
-	procs map[ident.NodeID]*proc
+	mu      sync.RWMutex
+	topo    engine.Topology
+	ownTopo bool // topology built by the cluster (New/SetGraph), safe to mutate
+	roster  *engine.Roster
+	procs   map[ident.NodeID]*proc
 
 	broadcasts chan core.Message
 	done       chan struct{}
@@ -77,22 +85,36 @@ type state struct {
 	list int // list length, for diagnostics
 }
 
-// New creates a cluster over the given topology (the graph may be mutated
-// later via SetGraph) and starts one goroutine per node plus the router.
+// New creates a cluster over the given graph (which may be mutated later
+// via SetGraph) and starts one goroutine per node plus the router.
 func New(cfg Config, g *graph.G) (*Cluster, error) {
+	c, err := NewWithTopology(cfg, &engine.StaticTopology{G: g.Clone()})
+	if err == nil {
+		c.ownTopo = true
+	}
+	return c, err
+}
+
+// NewWithTopology creates a cluster routing over an arbitrary vicinity
+// relation — the same Topology abstraction the deterministic engine
+// drives. The topology stays caller-owned: as with the deterministic
+// engine's RemoveNode, Remove stops a node's goroutine but the caller is
+// responsible for taking the node out of its own topology.
+func NewWithTopology(cfg Config, topo engine.Topology) (*Cluster, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
 	c := &Cluster{
 		cfg:        cfg,
-		g:          g.Clone(),
+		topo:       topo,
+		roster:     engine.NewRoster(),
 		procs:      make(map[ident.NodeID]*proc),
 		broadcasts: make(chan core.Message, 256),
 		done:       make(chan struct{}),
 	}
 	c.wg.Add(1)
 	go c.route()
-	for _, v := range g.Nodes() {
+	for _, v := range topo.Nodes() {
 		c.startNode(v)
 	}
 	return c, nil
@@ -108,6 +130,7 @@ func (c *Cluster) startNode(v ident.NodeID) {
 	}
 	c.mu.Lock()
 	c.procs[v] = p
+	c.roster.Add(v)
 	c.mu.Unlock()
 	c.wg.Add(1)
 	go c.run(p)
@@ -145,8 +168,9 @@ func (c *Cluster) run(p *proc) {
 	}
 }
 
-// route is the radio goroutine: it fans each broadcast out to the
-// sender's current neighbors. A full inbox counts as radio loss.
+// route is the radio goroutine: it fans each broadcast out to the nodes
+// the topology says can hear the sender. A full inbox counts as radio
+// loss.
 func (c *Cluster) route() {
 	defer c.wg.Done()
 	for {
@@ -155,8 +179,7 @@ func (c *Cluster) route() {
 			return
 		case m := <-c.broadcasts:
 			c.mu.RLock()
-			nbrs := c.g.Neighbors(m.From)
-			for _, u := range nbrs {
+			for _, u := range c.topo.Receivers(m.From) {
 				if p, ok := c.procs[u]; ok {
 					select {
 					case p.inbox <- m:
@@ -175,7 +198,8 @@ func (c *Cluster) route() {
 // stop them).
 func (c *Cluster) SetGraph(g *graph.G) {
 	c.mu.Lock()
-	c.g = g.Clone()
+	c.topo = &engine.StaticTopology{G: g.Clone()}
+	c.ownTopo = true
 	missing := []ident.NodeID{}
 	for _, v := range g.Nodes() {
 		if _, ok := c.procs[v]; !ok {
@@ -192,16 +216,23 @@ func (c *Cluster) SetGraph(g *graph.G) {
 func (c *Cluster) Graph() *graph.G {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return c.g.Clone()
+	return c.topo.Graph().Clone()
 }
 
-// Remove stops node v's goroutine (the node leaves the network).
+// Remove stops node v's goroutine (the node leaves the network). When
+// the cluster owns its topology (New, SetGraph) the node is also removed
+// from it; a caller-provided topology (NewWithTopology) stays untouched —
+// the caller removes the node from its own vicinity relation, exactly as
+// with the deterministic engine.
 func (c *Cluster) Remove(v ident.NodeID) {
 	c.mu.Lock()
 	p, ok := c.procs[v]
 	if ok {
 		delete(c.procs, v)
-		c.g.RemoveNode(v)
+		c.roster.Remove(v)
+		if st, isStatic := c.topo.(*engine.StaticTopology); isStatic && c.ownTopo {
+			st.G.RemoveNode(v)
+		}
 	}
 	c.mu.Unlock()
 	if ok {
@@ -229,16 +260,23 @@ func (c *Cluster) View(v ident.NodeID) []ident.NodeID {
 	}
 }
 
-// Views snapshots every running node's view. The snapshot is not a
-// consistent global cut (nodes answer at slightly different instants),
-// which is faithful to how a distributed observer would see the system.
+// Views snapshots every running node's view, in the roster's ascending
+// order. The snapshot is not a consistent global cut (nodes answer at
+// slightly different instants), which is faithful to how a distributed
+// observer would see the system.
 func (c *Cluster) Views() map[ident.NodeID][]ident.NodeID {
+	return c.viewsOf(c.memberIDs())
+}
+
+// memberIDs copies the roster's current ascending membership.
+func (c *Cluster) memberIDs() []ident.NodeID {
 	c.mu.RLock()
-	ids := make([]ident.NodeID, 0, len(c.procs))
-	for v := range c.procs {
-		ids = append(ids, v)
-	}
-	c.mu.RUnlock()
+	defer c.mu.RUnlock()
+	return append([]ident.NodeID(nil), c.roster.IDs()...)
+}
+
+// viewsOf queries exactly the given nodes' views.
+func (c *Cluster) viewsOf(ids []ident.NodeID) map[ident.NodeID][]ident.NodeID {
 	out := make(map[ident.NodeID][]ident.NodeID, len(ids))
 	for _, v := range ids {
 		if vw := c.View(v); vw != nil {
@@ -267,7 +305,12 @@ func (c *Cluster) AwaitStableViews(timeout time.Duration, stable int) bool {
 	var prev string
 	streak := 0
 	for time.Now().Before(deadline) {
-		cur := fingerprint(c.Views())
+		// One membership snapshot feeds both the query and the
+		// fingerprint, so a node started mid-poll cannot appear in the
+		// views while being skipped by the fingerprint (which would let
+		// an unsettled newcomer slip past the stability check).
+		ids := c.memberIDs()
+		cur := fingerprint(ids, c.viewsOf(ids))
 		if cur == prev {
 			streak++
 			if streak >= stable {
@@ -288,23 +331,21 @@ func (c *Cluster) Close() {
 	c.wg.Wait()
 }
 
-func fingerprint(views map[ident.NodeID][]ident.NodeID) string {
-	// Deterministic, cheap string form: ids are small.
-	b := make([]byte, 0, 256)
-	max := ident.NodeID(0)
-	for v := range views {
-		if v > max {
-			max = v
-		}
-	}
-	for v := ident.NodeID(1); v <= max; v++ {
+// fingerprint renders the views in the given (ascending) id order. Full
+// decimal IDs, unlike the seed's byte(v) truncation, so clusters with
+// node IDs ≥ 256 cannot alias two distinct view states.
+func fingerprint(ids []ident.NodeID, views map[ident.NodeID][]ident.NodeID) string {
+	b := make([]byte, 0, 16*len(ids))
+	for _, v := range ids {
 		vw, ok := views[v]
 		if !ok {
 			continue
 		}
-		b = append(b, byte(v), ':')
+		b = strconv.AppendUint(b, uint64(v), 10)
+		b = append(b, ':')
 		for _, u := range vw {
-			b = append(b, byte(u), ',')
+			b = strconv.AppendUint(b, uint64(u), 10)
+			b = append(b, ',')
 		}
 		b = append(b, ';')
 	}

@@ -4,307 +4,52 @@
 // model, on the paper's two timers (Ts ≤ Tc, the fair-channel constants τ2
 // and τ1). Every experiment and benchmark runs on this engine; identical
 // seeds reproduce identical executions bit for bit.
+//
+// Since the engine refactor the package is a thin veneer: the actual
+// scheduler — the phase-structured, deterministically parallel stepper
+// with timer wheels and sharded worker fan-out — lives in
+// internal/engine, and the names here are aliases kept so that the
+// experiment suite, the examples and the public facade read as before.
+// Set Params.Workers > 1 to fan the build and compute phases out over a
+// worker pool; the trace stays bit-identical to the sequential run.
 package sim
 
 import (
-	"fmt"
 	"math/rand"
-	"sort"
 
-	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/ident"
-	"repro/internal/metrics"
 	"repro/internal/mobility"
-	"repro/internal/radio"
 	"repro/internal/space"
 )
 
+// Params configures a simulation (engine.Params: Cfg, Ts, Tc, Channel,
+// Jitter, RandomizedSends, Seed, Workers).
+type Params = engine.Params
+
+// Sim is one running simulation (engine.Engine).
+type Sim = engine.Engine
+
 // Topology abstracts where messages can travel at the current instant.
-type Topology interface {
-	// Advance moves the topology forward by one tick.
-	Advance(rng *rand.Rand)
-	// Graph returns the current symmetric communication graph.
-	Graph() *graph.G
-	// Receivers returns the nodes that can hear a broadcast from v.
-	Receivers(v ident.NodeID) []ident.NodeID
-	// Nodes returns the current node population in ascending order.
-	Nodes() []ident.NodeID
-}
+type Topology = engine.Topology
 
 // StaticTopology is a fixed graph (possibly mutated between ticks by the
 // experiment itself, e.g. to inject a link cut).
-type StaticTopology struct{ G *graph.G }
+type StaticTopology = engine.StaticTopology
 
-// Advance implements Topology (no motion).
-func (t *StaticTopology) Advance(*rand.Rand) {}
-
-// Graph implements Topology.
-func (t *StaticTopology) Graph() *graph.G { return t.G }
-
-// Receivers implements Topology: the graph's neighbors.
-func (t *StaticTopology) Receivers(v ident.NodeID) []ident.NodeID { return t.G.Neighbors(v) }
-
-// Nodes implements Topology.
-func (t *StaticTopology) Nodes() []ident.NodeID { return t.G.Nodes() }
-
-// SpatialTopology animates a Euclidean world with a mobility model; the
-// communication graph is recomputed from positions every tick.
-type SpatialTopology struct {
-	World *space.World
-	Mob   mobility.Model
-	// DT is the simulated time per tick fed to the mobility model.
-	DT float64
-
-	cached *graph.G
-}
+// SpatialTopology animates a Euclidean world with a mobility model.
+type SpatialTopology = engine.SpatialTopology
 
 // NewSpatialTopology initializes the world with the mobility model's
 // placement for the given nodes.
 func NewSpatialTopology(w *space.World, mob mobility.Model, dt float64, nodes []ident.NodeID, rng *rand.Rand) *SpatialTopology {
-	mob.Init(w, nodes, rng)
-	t := &SpatialTopology{World: w, Mob: mob, DT: dt}
-	t.cached = w.SymmetricGraph()
-	return t
-}
-
-// Advance implements Topology.
-func (t *SpatialTopology) Advance(rng *rand.Rand) {
-	t.Mob.Step(t.World, t.DT, rng)
-	t.cached = t.World.SymmetricGraph()
-}
-
-// Graph implements Topology.
-func (t *SpatialTopology) Graph() *graph.G { return t.cached }
-
-// Receivers implements Topology: the world's vicinity relation (which may
-// be asymmetric; the protocol is in charge of symmetry detection).
-func (t *SpatialTopology) Receivers(v ident.NodeID) []ident.NodeID { return t.World.Receivers(v) }
-
-// Nodes implements Topology.
-func (t *SpatialTopology) Nodes() []ident.NodeID { return t.World.Nodes() }
-
-// Params configures a simulation.
-type Params struct {
-	// Cfg is the protocol configuration (Dmax etc.).
-	Cfg core.Config
-	// Ts is the send period in ticks (τ2); default 1.
-	Ts int
-	// Tc is the compute period in ticks (τ1 ≥ τ2); default 2·Ts.
-	Tc int
-	// Channel is the radio model; default radio.Perfect.
-	Channel radio.Channel
-	// Jitter desynchronizes the nodes' timers with random phase offsets.
-	Jitter bool
-	// RandomizedSends redraws each node's next send instant after every
-	// transmission (uniform in [1, Ts], so the mean period stays ≈ Ts/2
-	// + 1): the CSMA-style backoff that makes the fair-channel hypothesis
-	// hold on the collision channel — with fixed phases, two aligned
-	// neighbors would collide deterministically forever.
-	RandomizedSends bool
-	// Seed drives all randomness (mobility, channel, jitter).
-	Seed int64
-}
-
-func (p *Params) normalize() {
-	if p.Ts <= 0 {
-		p.Ts = 1
-	}
-	if p.Tc <= 0 {
-		p.Tc = 2 * p.Ts
-	}
-	if p.Tc < p.Ts {
-		panic(fmt.Sprintf("sim: Tc (%d) must be ≥ Ts (%d)", p.Tc, p.Ts))
-	}
-	if p.Channel == nil {
-		p.Channel = radio.Perfect{}
-	}
-}
-
-// Sim is one running simulation.
-type Sim struct {
-	P     Params
-	Topo  Topology
-	Nodes map[ident.NodeID]*core.Node
-
-	rng      *rand.Rand
-	tick     int
-	phase    map[ident.NodeID]int
-	nextSend map[ident.NodeID]int
-
-	// MessagesSent counts broadcasts; BytesSent their encoded sizes;
-	// Deliveries successful receptions.
-	MessagesSent int
-	BytesSent    int
-	Deliveries   int
+	return engine.NewSpatialTopology(w, mob, dt, nodes, rng)
 }
 
 // New builds a simulation over the topology with one fresh GRP node per
 // topology node.
-func New(p Params, topo Topology) *Sim {
-	p.normalize()
-	s := &Sim{
-		P:        p,
-		Topo:     topo,
-		Nodes:    make(map[ident.NodeID]*core.Node),
-		rng:      rand.New(rand.NewSource(p.Seed)),
-		phase:    make(map[ident.NodeID]int),
-		nextSend: make(map[ident.NodeID]int),
-	}
-	for _, v := range topo.Nodes() {
-		s.addNode(v)
-	}
-	return s
-}
+func New(p Params, topo Topology) *Sim { return engine.New(p, topo) }
 
 // NewStatic is shorthand for a fixed-graph simulation.
-func NewStatic(p Params, g *graph.G) *Sim {
-	return New(p, &StaticTopology{G: g})
-}
-
-func (s *Sim) addNode(v ident.NodeID) {
-	s.Nodes[v] = core.NewNode(v, s.P.Cfg)
-	if s.P.Jitter {
-		s.phase[v] = s.rng.Intn(s.P.Tc)
-	}
-	if s.P.RandomizedSends {
-		s.nextSend[v] = s.tick + s.rng.Intn(s.P.Ts)
-	}
-}
-
-// AddNode introduces a fresh node mid-run (it must already be present in
-// the topology, e.g. placed in the world or added to the static graph).
-func (s *Sim) AddNode(v ident.NodeID) {
-	if _, ok := s.Nodes[v]; ok {
-		return
-	}
-	s.addNode(v)
-}
-
-// RemoveNode makes a node leave: it stops sending and computing. The
-// caller removes it from the topology.
-func (s *Sim) RemoveNode(v ident.NodeID) {
-	delete(s.Nodes, v)
-	delete(s.phase, v)
-}
-
-// Tick returns the current tick count.
-func (s *Sim) Tick() int { return s.tick }
-
-// Rand exposes the simulation's RNG for workload builders that must stay
-// in lockstep with the run's determinism.
-func (s *Sim) Rand() *rand.Rand { return s.rng }
-
-// Step advances one tick: mobility, sends (nodes whose send timer
-// expires), channel arbitration, receptions, computes (nodes whose
-// compute timer expires).
-func (s *Sim) Step() {
-	s.Topo.Advance(s.rng)
-
-	var txs []radio.Tx
-	for _, v := range s.sortedNodes() {
-		due := (s.tick+s.phase[v])%s.P.Ts == 0
-		if s.P.RandomizedSends {
-			due = s.tick >= s.nextSend[v]
-		}
-		if due {
-			if s.P.RandomizedSends {
-				s.nextSend[v] = s.tick + 1 + s.rng.Intn(s.P.Ts)
-			}
-			rcv := s.Topo.Receivers(v)
-			live := rcv[:0:0]
-			for _, u := range rcv {
-				if _, ok := s.Nodes[u]; ok {
-					live = append(live, u)
-				}
-			}
-			txs = append(txs, radio.Tx{Sender: v, Receivers: live})
-		}
-	}
-	if len(txs) > 0 {
-		built := make(map[ident.NodeID]core.Message, len(txs))
-		for _, tx := range txs {
-			m := s.Nodes[tx.Sender].BuildMessage()
-			built[tx.Sender] = m
-			s.MessagesSent++
-			s.BytesSent += m.EncodedSize()
-		}
-		for _, d := range s.P.Channel.DeliverSlot(txs, s.rng) {
-			if n, ok := s.Nodes[d.To]; ok {
-				n.Receive(built[d.From])
-				s.Deliveries++
-			}
-		}
-	}
-
-	for _, v := range s.sortedNodes() {
-		if (s.tick+s.phase[v])%s.P.Tc == 0 {
-			s.Nodes[v].Compute()
-		}
-	}
-	s.tick++
-}
-
-// StepTicks advances k ticks.
-func (s *Sim) StepTicks(k int) {
-	for i := 0; i < k; i++ {
-		s.Step()
-	}
-}
-
-// StepRound advances one full compute period (Tc ticks): every node sends
-// at least Tc/Ts times and computes at least once — the fair-channel
-// window τ1.
-func (s *Sim) StepRound() { s.StepTicks(s.P.Tc) }
-
-// Snapshot captures the current configuration for the metrics predicates.
-// Only live protocol nodes contribute views.
-func (s *Sim) Snapshot() metrics.Snapshot {
-	views := make(map[ident.NodeID]map[ident.NodeID]bool, len(s.Nodes))
-	for v, n := range s.Nodes {
-		views[v] = n.ViewSet()
-	}
-	g := s.Topo.Graph().Clone()
-	for _, v := range g.Nodes() {
-		if _, ok := s.Nodes[v]; !ok {
-			g.RemoveNode(v)
-		}
-	}
-	return metrics.Snapshot{G: g, Views: views}
-}
-
-// RunUntilConverged steps whole rounds until the legitimacy predicate
-// ΠA ∧ ΠS ∧ ΠM holds for `stable` consecutive rounds or maxRounds passes.
-// It returns the number of rounds to first convergence and whether
-// convergence was reached.
-func (s *Sim) RunUntilConverged(maxRounds, stable int) (rounds int, ok bool) {
-	if stable < 1 {
-		stable = 1
-	}
-	streak := 0
-	first := 0
-	for r := 1; r <= maxRounds; r++ {
-		s.StepRound()
-		if s.Snapshot().Converged(s.P.Cfg.Dmax) {
-			if streak == 0 {
-				first = r
-			}
-			streak++
-			if streak >= stable {
-				return first, true
-			}
-		} else {
-			streak = 0
-		}
-	}
-	return maxRounds, false
-}
-
-func (s *Sim) sortedNodes() []ident.NodeID {
-	out := make([]ident.NodeID, 0, len(s.Nodes))
-	for v := range s.Nodes {
-		out = append(out, v)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
+func NewStatic(p Params, g *graph.G) *Sim { return engine.NewStatic(p, g) }
