@@ -9,6 +9,7 @@ package grp
 // code with the full seed count.
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -18,8 +19,10 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/ident"
+	"repro/internal/mobility"
 	"repro/internal/radio"
 	"repro/internal/sim"
+	"repro/internal/space"
 )
 
 const benchSeeds = 2
@@ -305,5 +308,97 @@ func BenchmarkE15Collision(b *testing.B) {
 		if tb := experiments.E15Collision(1); len(tb.Rows) == 0 {
 			b.Fatal("empty table")
 		}
+	}
+}
+
+// --- spatial index benchmarks (PR 2 trajectory: BENCH_spatial.json) ---
+
+// rwpWorld builds a mobile random-waypoint world at constant density
+// (mean symmetric degree ≈ 2.7 at range 2.5, matching E7c). The model is
+// not yet initialized; callers init it or hand it to NewSpatialTopology.
+func rwpWorld(n int) (*space.World, *mobility.Waypoint, []ident.NodeID) {
+	w := space.NewWorld(2.5)
+	ids := make([]ident.NodeID, n)
+	for i := range ids {
+		ids[i] = ident.NodeID(i + 1)
+	}
+	m := &mobility.Waypoint{Side: 2.7 * math.Sqrt(float64(n)), SpeedMin: 0.5, SpeedMax: 2, Pause: 1}
+	return w, m, ids
+}
+
+// bruteSymGraph is the seed's all-pairs O(n²) SymmetricGraph — the
+// baseline the ≥10× acceptance criterion is measured against.
+func bruteSymGraph(w *space.World, ids []ident.NodeID) *graph.G {
+	g := graph.New()
+	for _, v := range ids {
+		g.AddNode(v)
+	}
+	for i, u := range ids {
+		for _, v := range ids[i+1:] {
+			if w.CanReach(u, v) && w.CanReach(v, u) {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// BenchmarkSymmetricGraph measures one full topology rebuild of a sparse
+// mobile world at N=5000: the grid-served build (sequential and at 4
+// workers) against the all-pairs baseline. A node is moved before every
+// grid iteration so the generation cache cannot serve a stale graph —
+// each iteration pays the real rebuild.
+func BenchmarkSymmetricGraph(b *testing.B) {
+	const n = 5000
+	run := func(b *testing.B, workers int) {
+		w, m, ids := rwpWorld(n)
+		m.Init(w, ids, rand.New(rand.NewSource(1)))
+		w.Workers = workers
+		rng := rand.New(rand.NewSource(2))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Step(w, 0.2, rng) // realistic per-tick motion busts the cache
+			if g := w.SymmetricGraph(); g.NumNodes() != n {
+				b.Fatal("bad graph")
+			}
+		}
+	}
+	b.Run("grid-seq", func(b *testing.B) { run(b, 1) })
+	b.Run("grid-4workers", func(b *testing.B) { run(b, 4) })
+	b.Run("brute-force", func(b *testing.B) {
+		w, m, ids := rwpWorld(n)
+		m.Init(w, ids, rand.New(rand.NewSource(1)))
+		rng := rand.New(rand.NewSource(2))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Step(w, 0.2, rng)
+			if g := bruteSymGraph(w, ids); g.NumNodes() != n {
+				b.Fatal("bad graph")
+			}
+		}
+	})
+}
+
+// BenchmarkSpatialStep is the mobile-scenario engine benchmark at N=5000
+// (RWP, constant density): one full tick — mobility, incremental grid
+// maintenance, sharded graph rebuild, and the protocol phases — the cost
+// every large mobile sweep (E7c) pays per tick.
+func BenchmarkSpatialStep(b *testing.B) {
+	const n = 5000
+	for _, workers := range []int{1, 4} {
+		name := "engine-seq"
+		if workers > 1 {
+			name = "engine-4workers"
+		}
+		b.Run(name, func(b *testing.B) {
+			w, m, ids := rwpWorld(n)
+			topo := engine.NewSpatialTopology(w, m, 0.2, ids, rand.New(rand.NewSource(1)))
+			s := engine.New(engine.Params{Cfg: core.Config{Dmax: 3}, Seed: 1, Workers: workers}, topo)
+			s.StepTicks(4)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Step()
+			}
+		})
 	}
 }

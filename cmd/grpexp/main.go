@@ -37,6 +37,7 @@ func main() {
 			a, b := experiments.E7Scaling(*seeds)
 			return []*trace.Table{a, b}
 		}},
+		{"E7c", func() []*trace.Table { return []*trace.Table{experiments.E7cSpatialScale(*seeds)} }},
 		{"E8", func() []*trace.Table {
 			return []*trace.Table{experiments.E8Lifetime(*seeds), experiments.E8bHeadLoss(*seeds)}
 		}},
@@ -45,6 +46,7 @@ func main() {
 		{"E11", func() []*trace.Table { return []*trace.Table{experiments.E11Overhead()} }},
 		{"E12", func() []*trace.Table { return []*trace.Table{experiments.E12Quarantine(*seeds)} }},
 		{"E13", func() []*trace.Table { return []*trace.Table{experiments.E13Density(*seeds)} }},
+		{"E13b", func() []*trace.Table { return []*trace.Table{experiments.E13bDense(*seeds)} }},
 		{"E14", func() []*trace.Table { return []*trace.Table{experiments.E14Stabilizers(*seeds)} }},
 		{"E15", func() []*trace.Table { return []*trace.Table{experiments.E15Collision(*seeds)} }},
 	}

@@ -8,7 +8,9 @@
 //	grpsim -topo highway -n 12 -dmax 4 -rounds 120
 //
 // Topologies: line, ring, grid (rows x cols ≈ n), star, clique, clusters,
-// rgg, highway (mobile), waypoint (mobile), convoy (mobile).
+// rgg, highway (mobile), waypoint (mobile), convoy (mobile), urban
+// (mobile, obstacle walls). The mobile worlds scale their area with n
+// (constant density), so -n 20000 is a realistic spatial-index workload.
 package main
 
 import (
@@ -28,7 +30,7 @@ import (
 )
 
 func main() {
-	topo := flag.String("topo", "line", "topology: line ring grid star clique clusters rgg highway waypoint convoy")
+	topo := flag.String("topo", "line", "topology: line ring grid star clique clusters rgg highway waypoint convoy urban")
 	n := flag.Int("n", 8, "number of nodes")
 	dmax := flag.Int("dmax", 3, "group diameter bound Dmax")
 	rounds := flag.Int("rounds", 60, "rounds to simulate")
@@ -103,7 +105,27 @@ func build(p engine.Params, topo string, n int, seed int64) (*engine.Engine, err
 		return engine.New(p, engine.NewSpatialTopology(w, m, 0.05, ids(n), rand.New(rand.NewSource(seed)))), nil
 	case "waypoint":
 		w := space.NewWorld(6)
-		m := &mobility.Waypoint{Side: 25, SpeedMin: 0.5, SpeedMax: 1.5, Pause: 2}
+		// Constant density: the square grows with n, preserving the
+		// sparse regime of the old fixed side=25 world at its default
+		// n=8 (mean symmetric degree ≈ 1.5).
+		side := math.Max(25, 8.8*math.Sqrt(float64(n)))
+		m := &mobility.Waypoint{Side: side, SpeedMin: 0.5, SpeedMax: 1.5, Pause: 2}
+		return engine.New(p, engine.NewSpatialTopology(w, m, 0.2, ids(n), rand.New(rand.NewSource(seed)))), nil
+	case "urban":
+		// A Manhattan-style block grid: north-south and east-west walls
+		// with street gaps, over random-waypoint traffic — the workload
+		// that exercises the wall-to-cell index.
+		w := space.NewWorld(6)
+		side := math.Max(30, 8.8*math.Sqrt(float64(n)))
+		const block = 12.0
+		for x := block; x < side; x += block {
+			for y := 0.0; y < side; y += block {
+				w.Walls = append(w.Walls,
+					space.Segment{A: space.Point{X: x, Y: y + 2}, B: space.Point{X: x, Y: y + block - 2}},
+					space.Segment{A: space.Point{X: y + 2, Y: x}, B: space.Point{X: y + block - 2, Y: x}})
+			}
+		}
+		m := &mobility.Waypoint{Side: side, SpeedMin: 0.5, SpeedMax: 1.5, Pause: 1}
 		return engine.New(p, engine.NewSpatialTopology(w, m, 0.2, ids(n), rand.New(rand.NewSource(seed)))), nil
 	case "convoy":
 		w := space.NewWorld(4)

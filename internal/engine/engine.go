@@ -184,6 +184,12 @@ func New(p Params, topo Topology) *Engine {
 	} else {
 		e.sendWheel = newPeriodicWheel(p.Ts)
 	}
+	// Spatial topologies rebuild their graph with the same worker width
+	// as the engine's phases (the sharded build is deterministic at any
+	// width, so this is purely a throughput knob).
+	if st, ok := topo.(*SpatialTopology); ok && st.World.Workers == 0 {
+		st.World.Workers = p.Workers
+	}
 	for _, v := range topo.Nodes() {
 		e.addNode(v)
 	}

@@ -232,3 +232,77 @@ func TestRosterOrder(t *testing.T) {
 		t.Fatal("membership bookkeeping broken")
 	}
 }
+
+// TestSpatialAdvanceReusesGraphWhenStationary pins the moved-nothing fast
+// path: with a stationary mobility model the world generation does not
+// advance, Advance keeps the graph pointer-identical, and the engine's
+// receiver cache key (graph pointer + generation) therefore stays hot.
+func TestSpatialAdvanceReusesGraphWhenStationary(t *testing.T) {
+	w := space.NewWorld(5)
+	ids := []ident.NodeID{1, 2, 3, 4, 5, 6, 7, 8}
+	topo := NewSpatialTopology(w, &mobility.Static{Side: 10}, 0.1, ids, rand.New(rand.NewSource(1)))
+	e := New(Params{Cfg: core.Config{Dmax: 3}, Seed: 1}, topo)
+	g0 := topo.Graph()
+	gen0 := w.Generation()
+	e.StepTicks(20)
+	if topo.Graph() != g0 {
+		t.Fatal("stationary advance must keep the cached graph pointer")
+	}
+	if w.Generation() != gen0 {
+		t.Fatal("stationary advance must not bump the world generation")
+	}
+	if topo.Graph().Generation() != g0.Generation() {
+		t.Fatal("graph mutation generation moved on a stationary world")
+	}
+
+	// A zero-DT mobile model is just as stationary.
+	w2 := space.NewWorld(5)
+	topo2 := NewSpatialTopology(w2, &mobility.Waypoint{Side: 10, SpeedMin: 1, SpeedMax: 2},
+		0, ids, rand.New(rand.NewSource(1)))
+	e2 := New(Params{Cfg: core.Config{Dmax: 3}, Seed: 1}, topo2)
+	g0 = topo2.Graph()
+	e2.StepTicks(20)
+	if topo2.Graph() != g0 {
+		t.Fatal("zero-DT advance must keep the cached graph pointer")
+	}
+}
+
+// TestSpatialDeterminismWallsAsymmetry extends the determinism contract
+// to the full spatial index: a large mobile world with obstacle walls and
+// asymmetric TxRange overrides must produce bit-identical traces at any
+// worker count (the sharded SymmetricGraph build runs with the engine's
+// own fan-out width via engine.New).
+func TestSpatialDeterminismWallsAsymmetry(t *testing.T) {
+	run := func(workers int) []string {
+		w := space.NewWorld(3)
+		w.Walls = []space.Segment{
+			{A: space.Point{X: 10, Y: 0}, B: space.Point{X: 10, Y: 30}},
+			{A: space.Point{X: 0, Y: 15}, B: space.Point{X: 30, Y: 15}},
+		}
+		ids := make([]ident.NodeID, 150)
+		for i := range ids {
+			ids[i] = ident.NodeID(i + 1)
+			if i%5 == 0 {
+				w.SetTxRange(ids[i], 1.5+float64(i%7))
+			}
+		}
+		topo := NewSpatialTopology(w, &mobility.Waypoint{Side: 30, SpeedMin: 0.5, SpeedMax: 3, Pause: 0.5},
+			0.2, ids, rand.New(rand.NewSource(5)))
+		e := New(Params{Cfg: core.Config{Dmax: 3}, Seed: 11, Workers: workers}, topo)
+		var out []string
+		for r := 0; r < 12; r++ {
+			e.StepRound()
+			out = append(out, fingerprint(e.Snapshot()))
+		}
+		return out
+	}
+	want := run(1)
+	for _, workers := range []int{2, 4} {
+		got := run(workers)
+		for r := range want {
+			if got[r] != want[r] {
+				t.Fatalf("workers=%d: round %d diverges", workers, r+1)
+			}
+		}
+	}
+}

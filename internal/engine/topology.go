@@ -49,7 +49,11 @@ func (t *StaticTopology) Receivers(v ident.NodeID) []ident.NodeID { return t.G.N
 func (t *StaticTopology) Nodes() []ident.NodeID { return t.G.Nodes() }
 
 // SpatialTopology animates a Euclidean world with a mobility model; the
-// communication graph is recomputed from positions every tick.
+// communication graph is recomputed from positions every tick — except
+// when the mobility step moved nothing (stationary models, paused nodes,
+// zero DT): the world's generation counter then doesn't advance, the
+// cached graph is reused pointer-identical, and the engine's receiver
+// cache (keyed on graph pointer + generation) stays hot.
 type SpatialTopology struct {
 	World *space.World
 	Mob   mobility.Model
@@ -68,7 +72,9 @@ func NewSpatialTopology(w *space.World, mob mobility.Model, dt float64, nodes []
 	return t
 }
 
-// Advance implements Topology.
+// Advance implements Topology. World.SymmetricGraph is cached on the
+// world generation, so a step that moved no node costs O(1) and keeps
+// the previous graph (and every cache keyed on it) intact.
 func (t *SpatialTopology) Advance(rng *rand.Rand) {
 	t.Mob.Step(t.World, t.DT, rng)
 	t.cached = t.World.SymmetricGraph()

@@ -241,7 +241,9 @@ func E13Density(seeds int) *trace.Table {
 	return tb
 }
 
-// All regenerates every experiment table with the given seed count.
+// All regenerates every experiment table with the given seed count. E7c
+// runs a reduced size series here (the full tens-of-thousands series is
+// for cmd/grpexp and the benchmarks).
 func All(seeds int) []*trace.Table {
 	e7a, e7b := E7Scaling(seeds)
 	return []*trace.Table{
@@ -251,6 +253,7 @@ func All(seeds int) []*trace.Table {
 		E5Compatibility(),
 		E6Continuity(seeds),
 		e7a, e7b,
+		E7cSpatialScale(seeds, 1000, 5000),
 		E8Lifetime(seeds),
 		E8bHeadLoss(seeds),
 		E9Loss(seeds),
@@ -258,6 +261,7 @@ func All(seeds int) []*trace.Table {
 		E11Overhead(),
 		E12Quarantine(seeds),
 		E13Density(seeds),
+		E13bDense(seeds),
 		E14Stabilizers(seeds),
 		E15Collision(seeds),
 	}

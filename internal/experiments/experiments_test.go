@@ -190,12 +190,59 @@ func TestAllProducesEveryTable(t *testing.T) {
 		t.Skip("long")
 	}
 	tables := All(1)
-	if len(tables) != 16 {
-		t.Fatalf("tables = %d, want 16", len(tables))
+	if len(tables) != 18 {
+		t.Fatalf("tables = %d, want 18", len(tables))
 	}
 	for _, tb := range tables {
 		if len(tb.Rows) == 0 {
 			t.Errorf("table %q is empty", tb.Title)
 		}
+	}
+}
+
+func TestE7cSpatialScaleShape(t *testing.T) {
+	tb := E7cSpatialScale(1, 1000, 2000)
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		safePct, _ := strconv.ParseFloat(row[4], 64)
+		if safePct < 80 {
+			t.Errorf("n=%s: only %v%% of groups ΠS-safe over the sampled tail", row[0], safePct)
+		}
+		deg, _ := strconv.ParseFloat(row[1], 64)
+		if deg < 1 || deg > 8 {
+			t.Errorf("n=%s: mean degree %v outside the constant-density band", row[0], deg)
+		}
+		grouped, _ := strconv.ParseFloat(row[3], 64)
+		if grouped <= 5 {
+			t.Errorf("n=%s: only %v%% of nodes grouped after the horizon", row[0], grouped)
+		}
+	}
+}
+
+func TestE13bDenseMetastabilityAtScale(t *testing.T) {
+	tb := E13bDense(testSeeds)
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[3] != "true" {
+			t.Errorf("range %s: safety violated", row[0])
+		}
+	}
+	// The sweep must actually reach the dense regime, and the E13
+	// metastability trend must reproduce at 10× the population: denser
+	// worlds fragment into more groups, never fewer nodes-per-group
+	// violating safety.
+	first, last := tb.Rows[0], tb.Rows[len(tb.Rows)-1]
+	deg, _ := strconv.ParseFloat(last[1], 64)
+	if deg < 15 {
+		t.Errorf("densest sweep point only reaches mean degree %v", deg)
+	}
+	g0, _ := strconv.ParseFloat(first[4], 64)
+	g1, _ := strconv.ParseFloat(last[4], 64)
+	if g1 <= g0 {
+		t.Errorf("fragmentation did not grow with density: %v → %v groups", g0, g1)
 	}
 }

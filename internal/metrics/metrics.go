@@ -102,6 +102,29 @@ func (s Snapshot) Safety(dmax int) bool {
 	return true
 }
 
+// SafetyRate returns the fraction of groups satisfying ΠS — connected
+// with induced diameter at most dmax. The boolean Safety is an
+// all-groups conjunction, which a single stretched group zeroes; at
+// thousands of mobile groups that conjunction is almost never true, so
+// the large-scale sweeps report this per-group freshness rate instead.
+func (s Snapshot) SafetyRate(dmax int) float64 {
+	groups := s.Groups()
+	if len(groups) == 0 {
+		return 1
+	}
+	ok := 0
+	for _, g := range groups {
+		set := make(map[ident.NodeID]bool, len(g))
+		for _, v := range g {
+			set[v] = true
+		}
+		if s.G.InducedDiameter(set) <= dmax {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(groups))
+}
+
 // Maximality evaluates ΠM: merging any two distinct groups must break the
 // diameter bound (unreachable pairs count as infinite distance, so groups
 // with no connecting path are trivially unmergeable).

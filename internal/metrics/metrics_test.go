@@ -90,6 +90,24 @@ func TestSafety(t *testing.T) {
 	}
 }
 
+func TestSafetyRate(t *testing.T) {
+	// Line of 6: {1,2,3,4} has induced diameter 3, {5,6} diameter 1.
+	s := snapLine(6, []uint32{1, 2, 3, 4}, []uint32{5, 6})
+	if got := s.SafetyRate(3); got != 1 {
+		t.Fatalf("rate = %v, want 1", got)
+	}
+	if got := s.SafetyRate(2); got != 0.5 {
+		t.Fatalf("rate = %v, want 0.5 (only the pair fits Dmax=2)", got)
+	}
+	if (Snapshot{G: graph.New()}).SafetyRate(2) != 1 {
+		t.Fatal("empty snapshot must have rate 1")
+	}
+	// The boolean conjunction and the rate must agree at the extremes.
+	if s.Safety(2) || !s.Safety(3) {
+		t.Fatal("Safety inconsistent with SafetyRate")
+	}
+}
+
 func TestMaximality(t *testing.T) {
 	// Line of 4, Dmax=1: pairs {1,2},{3,4} are maximal.
 	s := snapLine(4, []uint32{1, 2}, []uint32{3, 4})

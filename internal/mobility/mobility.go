@@ -2,6 +2,13 @@
 // topologies: static placement, random waypoint, random walk, a VANET-style
 // highway convoy, and reference-point group mobility. All models are
 // deterministic for a given rng and advance in discrete time steps.
+//
+// Step iterates the world's cached roster (space.World.Nodes is an
+// incrementally maintained sorted slice, not a per-call sort), and a
+// Place at an unchanged position is a no-op that leaves the world
+// generation — and with it every downstream topology cache — untouched.
+// Models therefore Step with dt == 0 as a pure no-op (no RNG draws
+// either, so a zero-DT tick cannot perturb the trace).
 package mobility
 
 import (
@@ -37,7 +44,7 @@ func (s *Static) Init(w *space.World, nodes []ident.NodeID, rng *rand.Rand) {
 
 // Step implements Model.
 func (s *Static) Step(w *space.World, dt float64, rng *rand.Rand) {
-	if s.Jitter == 0 {
+	if s.Jitter == 0 || dt == 0 {
 		return
 	}
 	for _, v := range w.Nodes() {
@@ -79,6 +86,9 @@ func (m *Waypoint) newLeg(rng *rand.Rand) *wpState {
 
 // Step implements Model.
 func (m *Waypoint) Step(w *space.World, dt float64, rng *rand.Rand) {
+	if dt == 0 {
+		return
+	}
 	for _, v := range w.Nodes() {
 		st := m.state[v]
 		if st == nil {
@@ -123,6 +133,9 @@ func (m *Walk) Init(w *space.World, nodes []ident.NodeID, rng *rand.Rand) {
 
 // Step implements Model.
 func (m *Walk) Step(w *space.World, dt float64, rng *rand.Rand) {
+	if dt == 0 {
+		return
+	}
 	for _, v := range w.Nodes() {
 		h, ok := m.heading[v]
 		if !ok || rng.Float64() < m.Turn {
@@ -174,6 +187,9 @@ func (m *Highway) Init(w *space.World, nodes []ident.NodeID, rng *rand.Rand) {
 
 // Step implements Model.
 func (m *Highway) Step(w *space.World, dt float64, rng *rand.Rand) {
+	if dt == 0 {
+		return
+	}
 	for _, v := range w.Nodes() {
 		p, _ := w.Pos(v)
 		x := math.Mod(p.X+m.speed[v]*dt, m.Length)
@@ -213,6 +229,9 @@ func (m *Convoy) Init(w *space.World, nodes []ident.NodeID, rng *rand.Rand) {
 
 // Step implements Model.
 func (m *Convoy) Step(w *space.World, dt float64, rng *rand.Rand) {
+	if dt == 0 {
+		return
+	}
 	m.elapsed += dt
 	if m.StragglerEvery > 0 && m.elapsed >= m.StragglerEvery {
 		m.braked = true
@@ -264,6 +283,9 @@ func (m *Groups) Init(w *space.World, nodes []ident.NodeID, rng *rand.Rand) {
 
 // Step implements Model.
 func (m *Groups) Step(w *space.World, dt float64, rng *rand.Rand) {
+	if dt == 0 {
+		return
+	}
 	m.centers.Step(m.cw, dt, rng)
 	for _, v := range w.Nodes() {
 		c, _ := m.cw.Pos(m.centerID[m.group[v]])
@@ -332,6 +354,9 @@ func (m *RingRoad) Init(w *space.World, nodes []ident.NodeID, rng *rand.Rand) {
 
 // Step implements Model.
 func (m *RingRoad) Step(w *space.World, dt float64, rng *rand.Rand) {
+	if dt == 0 {
+		return
+	}
 	radius := m.Length / (2 * math.Pi)
 	for _, v := range w.Nodes() {
 		m.angle[v] = math.Mod(m.angle[v]+m.angSpeed[v]*dt, 2*math.Pi)

@@ -1,0 +1,246 @@
+// Spatial-hash vicinity index: a uniform grid over the plane keyed by
+// cell coordinates, maintained incrementally by Place/Remove, plus a
+// segment-to-cell index for the obstacle walls and the deterministic
+// shard-parallel SymmetricGraph build on top of both.
+//
+// The cell size is the maximum TX range over the world (the default
+// Range and every TxRange override), so any link — symmetric or not —
+// fits inside one cell diagonal step: all candidate receivers of a node
+// lie in the 3×3 cell block around it, and every wall that can cross a
+// link is registered in one of the (at most 2×2) cells the link's
+// bounding box overlaps. CanReach candidate sets and wall tests are
+// therefore O(local density) instead of O(n) and O(walls).
+package space
+
+import (
+	"math"
+	"reflect"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/ident"
+)
+
+// numShards mirrors engine.NumShards: the parallel SymmetricGraph build
+// fans node work out into the same fixed NodeID shards the engine uses,
+// so the edge set — and with it every downstream trace — is independent
+// of the worker count by construction.
+const numShards = 64
+
+// shardOf maps a node to its build shard (same formula as the engine's).
+func shardOf(v ident.NodeID) int { return int(uint32(v) % numShards) }
+
+// cellKey addresses one grid cell.
+type cellKey struct{ cx, cy int }
+
+// cellAt returns the cell containing p (floor division, so negative
+// coordinates hash consistently).
+func (w *World) cellAt(p Point) cellKey {
+	return cellKey{int(math.Floor(p.X / w.cellSize)), int(math.Floor(p.Y / w.cellSize))}
+}
+
+// validate makes the derived structures (grid, wall index, cell size)
+// consistent with the public configuration fields. The clean-path check
+// is read-only and O(1): a rebuild is triggered by the first use, an
+// explicit Invalidate, a reassignment of the TxRange map (identity +
+// size fingerprint) or of the Walls slice (length + backing pointer).
+// Mutating an existing TxRange entry or a wall in place is invisible to
+// these heuristics — callers doing that must call Invalidate (or use
+// SetTxRange/SetWalls, which do).
+func (w *World) validate() {
+	if w.cells != nil && !w.dirty && len(w.TxRange) == w.txLen &&
+		reflect.ValueOf(w.TxRange).Pointer() == w.txPtr &&
+		len(w.Walls) == w.wallsLen && (len(w.Walls) == 0 || &w.Walls[0] == w.wallsPtr) {
+		return
+	}
+	w.rebuildIndex()
+}
+
+// rebuildIndex rederives the cell size from the current ranges and
+// re-inserts every node and wall. O(n + walls·cells_per_wall); runs only
+// on structural changes, never on mere motion.
+func (w *World) rebuildIndex() {
+	maxR := w.Range
+	for _, r := range w.TxRange {
+		if r > maxR {
+			maxR = r
+		}
+	}
+	w.maxRange = maxR
+	w.cellSize = maxR
+	if !(w.cellSize > 0) {
+		// A world with no positive range has no links; any cell size
+		// keeps the grid well defined.
+		w.cellSize = 1
+	}
+	w.cells = make(map[cellKey][]ident.NodeID, len(w.pos))
+	w.cellOf = make(map[ident.NodeID]cellKey, len(w.pos))
+	for v, p := range w.pos {
+		k := w.cellAt(p)
+		w.cellOf[v] = k
+		w.cells[k] = append(w.cells[k], v)
+	}
+	w.wallCells = make(map[cellKey][]int, len(w.Walls))
+	for i, s := range w.Walls {
+		lo := w.cellAt(Point{math.Min(s.A.X, s.B.X), math.Min(s.A.Y, s.B.Y)})
+		hi := w.cellAt(Point{math.Max(s.A.X, s.B.X), math.Max(s.A.Y, s.B.Y)})
+		for cx := lo.cx; cx <= hi.cx; cx++ {
+			for cy := lo.cy; cy <= hi.cy; cy++ {
+				k := cellKey{cx, cy}
+				w.wallCells[k] = append(w.wallCells[k], i)
+			}
+		}
+	}
+	w.txLen = len(w.TxRange)
+	w.txPtr = reflect.ValueOf(w.TxRange).Pointer()
+	w.wallsLen = len(w.Walls)
+	w.wallsPtr = nil
+	if len(w.Walls) > 0 {
+		w.wallsPtr = &w.Walls[0]
+	}
+	w.dirty = false
+	w.gen++
+}
+
+// gridInsert adds v (already in pos) to its cell.
+func (w *World) gridInsert(v ident.NodeID, p Point) {
+	k := w.cellAt(p)
+	w.cellOf[v] = k
+	w.cells[k] = append(w.cells[k], v)
+}
+
+// gridRemove deletes v from cell k (swap-delete; cell lists are
+// unordered, every consumer either sorts its output or builds a set).
+func (w *World) gridRemove(v ident.NodeID, k cellKey) {
+	lst := w.cells[k]
+	for i, u := range lst {
+		if u == v {
+			lst[i] = lst[len(lst)-1]
+			lst = lst[:len(lst)-1]
+			break
+		}
+	}
+	if len(lst) == 0 {
+		delete(w.cells, k)
+	} else {
+		w.cells[k] = lst
+	}
+}
+
+// wallBlocked reports whether a wall crosses the link pu–pv. It only
+// tests walls registered in the cells the link's bounding box overlaps;
+// the caller guarantees the link is no longer than the cell size (every
+// in-range link is, by the cell-size invariant), so that box spans at
+// most 2×2 cells. A wall spanning two of those cells is tested twice —
+// harmless for a pure predicate, and cheaper than deduplication, which
+// would need mutable scratch and break the lock-free parallel build.
+func (w *World) wallBlocked(pu, pv Point) bool {
+	if len(w.Walls) == 0 {
+		return false
+	}
+	k1, k2 := w.cellAt(pu), w.cellAt(pv)
+	if k2.cx < k1.cx {
+		k1.cx, k2.cx = k2.cx, k1.cx
+	}
+	if k2.cy < k1.cy {
+		k1.cy, k2.cy = k2.cy, k1.cy
+	}
+	for cx := k1.cx; cx <= k2.cx; cx++ {
+		for cy := k1.cy; cy <= k2.cy; cy++ {
+			for _, i := range w.wallCells[cellKey{cx, cy}] {
+				s := &w.Walls[i]
+				if segmentsCross(pu, pv, s.A, s.B) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// gridEdge is one undirected link found by the sharded build.
+type gridEdge struct{ u, v ident.NodeID }
+
+// runShards applies fn to every shard: inline when Workers ≤ 1, else on
+// a pool of Workers goroutines with a static shard-to-worker assignment
+// (the engine's fan-out shape). fn must only write shard-local state.
+func (w *World) runShards(fn func(s int)) {
+	n := w.Workers
+	if n > numShards {
+		n = numShards
+	}
+	if n <= 1 {
+		for s := 0; s < numShards; s++ {
+			fn(s)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			for s := i; s < numShards; s += n {
+				fn(s)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// buildSymmetricGraph computes the bidirectional-link graph from the
+// grid: each shard scans its own nodes in canonical (ascending) order,
+// collects the edges (u,v), u < v, whose distance is within both
+// endpoints' TX ranges and that no wall crosses, and the shard edge
+// lists are merged in shard order. Workers only read shared state (pos,
+// cells, ranges, walls) and write their own shard's edge buffer, so the
+// result is identical at any worker count.
+func (w *World) buildSymmetricGraph(nodes []ident.NodeID) *graph.G {
+	for s := range w.shardNodes {
+		w.shardNodes[s] = w.shardNodes[s][:0]
+	}
+	for _, v := range nodes {
+		s := shardOf(v)
+		w.shardNodes[s] = append(w.shardNodes[s], v)
+	}
+	w.runShards(func(s int) {
+		edges := w.shardEdges[s][:0]
+		for _, u := range w.shardNodes[s] {
+			pu := w.pos[u]
+			ru := w.rangeOf(u)
+			k := w.cellOf[u]
+			for cx := k.cx - 1; cx <= k.cx+1; cx++ {
+				for cy := k.cy - 1; cy <= k.cy+1; cy++ {
+					for _, v := range w.cells[cellKey{cx, cy}] {
+						if v <= u {
+							continue
+						}
+						pv := w.pos[v]
+						r := ru
+						if rv := w.rangeOf(v); rv < r {
+							r = rv
+						}
+						if pu.Dist(pv) > r {
+							continue
+						}
+						if w.wallBlocked(pu, pv) {
+							continue
+						}
+						edges = append(edges, gridEdge{u, v})
+					}
+				}
+			}
+		}
+		w.shardEdges[s] = edges
+	})
+	g := graph.New()
+	for _, v := range nodes {
+		g.AddNode(v)
+	}
+	for s := range w.shardEdges {
+		for _, e := range w.shardEdges[s] {
+			g.AddEdge(e.u, e.v)
+		}
+	}
+	return g
+}

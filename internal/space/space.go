@@ -2,6 +2,13 @@
 // vicinity relation of the paper's system model: a link u→v exists when u
 // is in the vicinity of v, which depends on positions, per-node radio
 // ranges (asymmetric links) and obstacles.
+//
+// The vicinity queries are served by an incremental spatial-hash index
+// (see grid.go): candidate receivers come from a 3×3 cell neighborhood
+// instead of the full population, walls are tested from a segment-to-cell
+// index, and SymmetricGraph is a deterministic shard-parallel build that
+// is cached on the world's generation — recomputed only when something
+// actually moved or the configuration changed.
 package space
 
 import (
@@ -25,6 +32,13 @@ func (p Point) Add(dx, dy float64) Point { return Point{p.X + dx, p.Y + dy} }
 type Segment struct{ A, B Point }
 
 // World holds node positions and the vicinity parameters.
+//
+// The configuration fields are public for construction-time convenience.
+// Reassigning TxRange or Walls wholesale is detected automatically; for
+// in-place mutation after the world has been queried, use SetTxRange /
+// SetWalls or call Invalidate so the spatial index rebuilds. Structural
+// mutation must not race with queries: the engine only mutates the world
+// in its sequential phases.
 type World struct {
 	// Range is the default transmission range.
 	Range float64
@@ -33,8 +47,44 @@ type World struct {
 	TxRange map[ident.NodeID]float64
 	// Walls block links whose straight line crosses them.
 	Walls []Segment
+	// Workers sets the fan-out width of the parallel SymmetricGraph
+	// build; 0 or 1 builds inline. The graph content is identical at any
+	// width (engine.New propagates its own Workers here for spatial
+	// topologies).
+	Workers int
 
 	pos map[ident.NodeID]Point
+
+	// ids is the cached ascending roster, rebuilt lazily after
+	// membership churn (idsDirty) — motion alone never invalidates it.
+	ids      []ident.NodeID
+	idsDirty bool
+
+	// gen counts observable changes to the vicinity inputs: node
+	// placement/removal, actual motion, and structural rebuilds.
+	// Place with an unchanged position does not bump it, which is what
+	// lets stationary ticks reuse every downstream cache.
+	gen uint64
+
+	// Spatial-hash index (grid.go). cells is nil until the first query
+	// builds it; dirty plus the txLen/walls fingerprints trigger
+	// structural rebuilds.
+	cellSize  float64
+	maxRange  float64
+	cells     map[cellKey][]ident.NodeID
+	cellOf    map[ident.NodeID]cellKey
+	wallCells map[cellKey][]int
+	dirty     bool
+	txLen     int
+	txPtr     uintptr
+	wallsLen  int
+	wallsPtr  *Segment
+
+	// Sharded-build scratch and the generation-keyed graph cache.
+	shardNodes [numShards][]ident.NodeID
+	shardEdges [numShards][]gridEdge
+	symGraph   *graph.G
+	symGen     uint64
 }
 
 // NewWorld returns an empty world with the given default range.
@@ -42,23 +92,93 @@ func NewWorld(txRange float64) *World {
 	return &World{Range: txRange, pos: make(map[ident.NodeID]Point)}
 }
 
-// Place sets v's position (adding v if unknown).
-func (w *World) Place(v ident.NodeID, p Point) { w.pos[v] = p }
+// Generation returns a counter that increases whenever the world's
+// observable vicinity inputs change: a node moved, joined or left, or
+// the range/wall configuration was (detectably) altered. Consumers that
+// cache topology derived from the world key their caches on it.
+func (w *World) Generation() uint64 { return w.gen }
+
+// Invalidate forces the spatial index to rebuild on the next query. Call
+// it after mutating TxRange entries or wall endpoints in place; wholesale
+// reassignment of those fields is detected without it.
+func (w *World) Invalidate() {
+	w.dirty = true
+	w.gen++
+}
+
+// SetTxRange sets v's TX range override and keeps the index consistent.
+func (w *World) SetTxRange(v ident.NodeID, r float64) {
+	if w.TxRange == nil {
+		w.TxRange = make(map[ident.NodeID]float64)
+	}
+	w.TxRange[v] = r
+	w.Invalidate()
+}
+
+// SetWalls replaces the obstacle set and keeps the index consistent.
+func (w *World) SetWalls(walls []Segment) {
+	w.Walls = walls
+	w.Invalidate()
+}
+
+// Place sets v's position (adding v if unknown). Placing a node at its
+// current position is a no-op: the generation does not move, so cached
+// topology stays valid across stationary ticks.
+func (w *World) Place(v ident.NodeID, p Point) {
+	old, existed := w.pos[v]
+	if existed && old == p {
+		return
+	}
+	w.pos[v] = p
+	w.gen++
+	if !existed {
+		w.idsDirty = true
+	}
+	if w.cells == nil {
+		return // index not built yet; the first query inserts everyone
+	}
+	if existed {
+		k := w.cellOf[v]
+		if k == w.cellAt(p) {
+			return
+		}
+		w.gridRemove(v, k)
+	}
+	w.gridInsert(v, p)
+}
 
 // Remove deletes v from the world (node became inactive / left).
-func (w *World) Remove(v ident.NodeID) { delete(w.pos, v) }
+func (w *World) Remove(v ident.NodeID) {
+	if _, ok := w.pos[v]; !ok {
+		return
+	}
+	delete(w.pos, v)
+	w.gen++
+	w.idsDirty = true
+	if w.cells != nil {
+		w.gridRemove(v, w.cellOf[v])
+		delete(w.cellOf, v)
+	}
+}
 
 // Pos returns v's position and whether v is present.
 func (w *World) Pos(v ident.NodeID) (Point, bool) { p, ok := w.pos[v]; return p, ok }
 
-// Nodes returns all present nodes in ascending order.
+// Nodes returns all present nodes in ascending order. The slice is the
+// world's cached roster: callers must not mutate it, and must copy it if
+// they hold it across a Place of a new node or a Remove (mere motion
+// never invalidates it).
 func (w *World) Nodes() []ident.NodeID {
-	out := make([]ident.NodeID, 0, len(w.pos))
-	for v := range w.pos {
-		out = append(out, v)
+	if w.idsDirty {
+		ids := make([]ident.NodeID, 0, len(w.pos))
+		for v := range w.pos {
+			ids = append(ids, v)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		w.ids = ids
+		w.idsDirty = false
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return w.ids
 }
 
 // rangeOf returns the TX range of v.
@@ -69,9 +189,10 @@ func (w *World) rangeOf(v ident.NodeID) float64 {
 	return w.Range
 }
 
-// CanReach reports whether a transmission by u is receivable by v (u is in
-// the vicinity of v): both present, within u's TX range, and no wall
-// between them.
+// CanReach reports whether a transmission by u is receivable by v (u is
+// in the vicinity of v): both present, within u's TX range, and no wall
+// between them. Wall tests go through the segment-to-cell index, so the
+// cost is O(walls near the link), not O(all walls).
 func (w *World) CanReach(u, v ident.NodeID) bool {
 	if u == v {
 		return false
@@ -84,45 +205,61 @@ func (w *World) CanReach(u, v ident.NodeID) bool {
 	if !ok {
 		return false
 	}
+	w.validate()
 	if pu.Dist(pv) > w.rangeOf(u) {
 		return false
 	}
-	for _, wall := range w.Walls {
-		if segmentsCross(pu, pv, wall.A, wall.B) {
-			return false
-		}
-	}
-	return true
+	return !w.wallBlocked(pu, pv)
 }
 
-// SymmetricGraph returns the undirected graph of bidirectional links — the
-// topology G_c the specification predicates are evaluated on. Nodes present
-// in the world always appear, even isolated.
+// SymmetricGraph returns the undirected graph of bidirectional links —
+// the topology G_c the specification predicates are evaluated on. Nodes
+// present in the world always appear, even isolated. The result is
+// cached on the world generation: when nothing moved since the last
+// call, the same graph (same pointer, same mutation generation) is
+// returned, so downstream receiver caches stay hot. Callers must treat
+// the returned graph as read-only.
 func (w *World) SymmetricGraph() *graph.G {
-	g := graph.New()
-	nodes := w.Nodes()
-	for _, v := range nodes {
-		g.AddNode(v)
+	w.validate()
+	if w.symGraph != nil && w.symGen == w.gen {
+		return w.symGraph
 	}
-	for i, u := range nodes {
-		for _, v := range nodes[i+1:] {
-			if w.CanReach(u, v) && w.CanReach(v, u) {
-				g.AddEdge(u, v)
-			}
-		}
-	}
+	g := w.buildSymmetricGraph(w.Nodes())
+	w.symGraph, w.symGen = g, w.gen
 	return g
 }
 
 // Receivers returns the nodes able to receive a transmission from u, in
-// ascending order.
+// ascending order. Candidates come from the 3×3 cell neighborhood of u
+// (sufficient because no TX range exceeds the cell size), so the cost is
+// O(local density · log), not O(n log n).
 func (w *World) Receivers(u ident.NodeID) []ident.NodeID {
+	w.validate()
+	pu, ok := w.pos[u]
+	if !ok {
+		return nil
+	}
+	r := w.rangeOf(u)
+	k := w.cellOf[u]
 	var out []ident.NodeID
-	for _, v := range w.Nodes() {
-		if v != u && w.CanReach(u, v) {
-			out = append(out, v)
+	for cx := k.cx - 1; cx <= k.cx+1; cx++ {
+		for cy := k.cy - 1; cy <= k.cy+1; cy++ {
+			for _, v := range w.cells[cellKey{cx, cy}] {
+				if v == u {
+					continue
+				}
+				pv := w.pos[v]
+				if pu.Dist(pv) > r {
+					continue
+				}
+				if w.wallBlocked(pu, pv) {
+					continue
+				}
+				out = append(out, v)
+			}
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -1,8 +1,10 @@
 package space
 
 import (
+	"math/rand"
 	"testing"
 
+	"repro/internal/graph"
 	"repro/internal/ident"
 )
 
@@ -105,5 +107,236 @@ func TestPointHelpers(t *testing.T) {
 	}
 	if d := (Point{0, 0}).Dist(Point{3, 4}); d != 5 {
 		t.Fatalf("Dist = %v", d)
+	}
+}
+
+// --- spatial-hash index vs brute-force oracle -------------------------
+
+// bruteCanReach replicates the pre-index vicinity relation: distance
+// against the sender's range and a linear scan over every wall. It is the
+// oracle the grid is property-tested against.
+func bruteCanReach(w *World, u, v ident.NodeID) bool {
+	if u == v {
+		return false
+	}
+	pu, ok := w.pos[u]
+	if !ok {
+		return false
+	}
+	pv, ok := w.pos[v]
+	if !ok {
+		return false
+	}
+	if pu.Dist(pv) > w.rangeOf(u) {
+		return false
+	}
+	for _, wall := range w.Walls {
+		if segmentsCross(pu, pv, wall.A, wall.B) {
+			return false
+		}
+	}
+	return true
+}
+
+// bruteSymmetricGraph is the old all-pairs O(n²) build.
+func bruteSymmetricGraph(w *World) *graph.G {
+	g := graph.New()
+	nodes := w.Nodes()
+	for _, v := range nodes {
+		g.AddNode(v)
+	}
+	for i, u := range nodes {
+		for _, v := range nodes[i+1:] {
+			if bruteCanReach(w, u, v) && bruteCanReach(w, v, u) {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// bruteReceivers is the old roster-scan receiver set.
+func bruteReceivers(w *World, u ident.NodeID) []ident.NodeID {
+	var out []ident.NodeID
+	for _, v := range w.Nodes() {
+		if v != u && bruteCanReach(w, u, v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// checkAgainstOracle compares the grid-served SymmetricGraph, Receivers
+// and CanReach with the brute-force oracle on the world's current state.
+func checkAgainstOracle(t *testing.T, w *World, label string) {
+	t.Helper()
+	got, want := w.SymmetricGraph(), bruteSymmetricGraph(w)
+	if !got.Equal(want) {
+		t.Fatalf("%s: SymmetricGraph mismatch: grid %v, brute %v", label, got, want)
+	}
+	nodes := append([]ident.NodeID(nil), w.Nodes()...)
+	for _, u := range nodes {
+		gr, br := w.Receivers(u), bruteReceivers(w, u)
+		if len(gr) != len(br) {
+			t.Fatalf("%s: Receivers(%d) = %v, want %v", label, u, gr, br)
+		}
+		for i := range gr {
+			if gr[i] != br[i] {
+				t.Fatalf("%s: Receivers(%d) = %v, want %v", label, u, gr, br)
+			}
+		}
+		for _, v := range nodes {
+			if w.CanReach(u, v) != bruteCanReach(w, u, v) {
+				t.Fatalf("%s: CanReach(%d,%d) disagrees with oracle", label, u, v)
+			}
+		}
+	}
+}
+
+// TestGridMatchesBruteForce property-tests the spatial index against the
+// brute-force oracle on random worlds: random positions (including
+// negative coordinates), random walls, asymmetric TxRange overrides both
+// above and below the default range, then incremental churn — moves,
+// removals, joins, and structural reconfiguration.
+func TestGridMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 25; iter++ {
+		n := 5 + rng.Intn(70)
+		side := 4 + rng.Float64()*30
+		w := NewWorld(0.5 + rng.Float64()*5)
+
+		// Asymmetric ranges: some overrides shrink, some exceed the
+		// default (the cell size must follow the maximum).
+		if rng.Intn(2) == 0 {
+			w.TxRange = map[ident.NodeID]float64{}
+			for v := 1; v <= n; v++ {
+				if rng.Intn(4) == 0 {
+					w.TxRange[ident.NodeID(v)] = rng.Float64() * 2 * w.Range
+				}
+			}
+		}
+		for i := 0; i < rng.Intn(6); i++ {
+			a := Point{rng.Float64()*side - side/2, rng.Float64()*side - side/2}
+			w.Walls = append(w.Walls, Segment{a, a.Add(rng.Float64()*side/2, rng.Float64()*side/2)})
+		}
+		for v := 1; v <= n; v++ {
+			w.Place(ident.NodeID(v), Point{rng.Float64()*side - side/2, rng.Float64()*side - side/2})
+		}
+		checkAgainstOracle(t, w, "fresh")
+
+		// Incremental churn: move a third, remove a few, add a few.
+		for v := 1; v <= n; v++ {
+			switch rng.Intn(3) {
+			case 0:
+				w.Place(ident.NodeID(v), Point{rng.Float64()*side - side/2, rng.Float64()*side - side/2})
+			case 1:
+				if rng.Intn(4) == 0 {
+					w.Remove(ident.NodeID(v))
+				}
+			}
+		}
+		for v := n + 1; v <= n+3; v++ {
+			w.Place(ident.NodeID(v), Point{rng.Float64()*side - side/2, rng.Float64()*side - side/2})
+		}
+		checkAgainstOracle(t, w, "churned")
+
+		// Structural change mid-life: new walls (reassignment), a range
+		// override through the invalidating setter, and a wholesale
+		// TxRange reassignment with the same override count (caught by
+		// the map-identity fingerprint, not the length).
+		w.Walls = append(w.Walls[:0:0], Segment{Point{-side, 0}, Point{side, 0}})
+		w.SetTxRange(ident.NodeID(1+rng.Intn(n)), rng.Float64()*3*w.Range)
+		checkAgainstOracle(t, w, "reconfigured")
+		fresh := make(map[ident.NodeID]float64, len(w.TxRange))
+		for v := range w.TxRange {
+			fresh[v] = rng.Float64() * 4 * w.Range
+		}
+		w.TxRange = fresh
+		checkAgainstOracle(t, w, "txrange-swapped")
+	}
+}
+
+// TestGridParallelBuildMatchesSequential pins the determinism of the
+// sharded SymmetricGraph build: identical edge sets at any worker width.
+func TestGridParallelBuildMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	w := NewWorld(2)
+	for v := 1; v <= 400; v++ {
+		w.Place(ident.NodeID(v), Point{rng.Float64() * 40, rng.Float64() * 40})
+	}
+	w.Walls = []Segment{{Point{10, 0}, Point{10, 40}}, {Point{0, 20}, Point{40, 20}}}
+	for _, workers := range []int{1, 2, 4, 7, 64, 200} {
+		w.Workers = workers
+		w.Place(1, Point{rng.Float64() * 40, rng.Float64() * 40}) // bust the graph cache
+		seq := bruteSymmetricGraph(w)
+		if g := w.SymmetricGraph(); !g.Equal(seq) {
+			t.Fatalf("workers=%d: %v != brute %v", workers, g, seq)
+		}
+	}
+}
+
+// TestGenerationAndGraphCache pins the dirty-tracking contract: motion
+// bumps the generation and invalidates the cached graph; a same-position
+// Place does not, and the cached graph is returned pointer-identical.
+func TestGenerationAndGraphCache(t *testing.T) {
+	w := NewWorld(2)
+	w.Place(1, Point{0, 0})
+	w.Place(2, Point{1, 0})
+	g1 := w.SymmetricGraph()
+	gen := w.Generation()
+
+	w.Place(1, Point{0, 0}) // same position: no-op
+	if w.Generation() != gen {
+		t.Fatal("same-position Place must not bump the generation")
+	}
+	if g2 := w.SymmetricGraph(); g2 != g1 {
+		t.Fatal("unchanged world must reuse the cached graph pointer")
+	}
+
+	w.Place(1, Point{0, 0.5}) // actual motion
+	if w.Generation() == gen {
+		t.Fatal("motion must bump the generation")
+	}
+	if g3 := w.SymmetricGraph(); g3 == g1 {
+		t.Fatal("motion must rebuild the graph")
+	}
+
+	// Structural reconfiguration through the fields is detected too.
+	gen = w.Generation()
+	w.Walls = []Segment{{Point{0.5, -1}, Point{0.5, 1}}}
+	if w.SymmetricGraph().HasEdge(1, 2) {
+		t.Fatal("wall assignment not picked up")
+	}
+	if w.Generation() == gen {
+		t.Fatal("structural rebuild must bump the generation")
+	}
+}
+
+// TestNodesCachedRoster pins that Nodes is served from the cached sorted
+// roster: motion does not reallocate it, membership churn refreshes it.
+func TestNodesCachedRoster(t *testing.T) {
+	w := NewWorld(2)
+	for v := 5; v >= 1; v-- {
+		w.Place(ident.NodeID(v), Point{float64(v), 0})
+	}
+	a := w.Nodes()
+	for i := 1; i < len(a); i++ {
+		if a[i-1] >= a[i] {
+			t.Fatalf("roster not ascending: %v", a)
+		}
+	}
+	w.Place(3, Point{9, 9})
+	b := w.Nodes()
+	if &a[0] != &b[0] {
+		t.Fatal("motion must not rebuild the roster")
+	}
+	w.Remove(3)
+	c := w.Nodes()
+	if len(c) != 4 || c[2] != 4 {
+		t.Fatalf("roster after remove: %v", c)
+	}
+	// The previously returned slice must stay intact for holders.
+	if len(a) != 5 || a[2] != 3 {
+		t.Fatalf("held roster slice was clobbered: %v", a)
 	}
 }
