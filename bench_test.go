@@ -19,7 +19,9 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/ident"
+	"repro/internal/metrics"
 	"repro/internal/mobility"
+	"repro/internal/obs"
 	"repro/internal/radio"
 	"repro/internal/sim"
 	"repro/internal/space"
@@ -401,4 +403,98 @@ func BenchmarkSpatialStep(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- observability benchmarks (PR 3 trajectory: BENCH_obs.json) ---
+
+// obsBenchEngine builds the settled N=5000 mobile RWP scenario the
+// observability benchmarks share (100 warm-up ticks: groups have formed,
+// mobility keeps churning the topology — the steady state a soak run
+// spends its life in).
+func obsBenchEngine(workers int) *engine.Engine {
+	w, m, ids := rwpWorld(5000)
+	topo := engine.NewSpatialTopology(w, m, 0.2, ids, rand.New(rand.NewSource(1)))
+	s := engine.New(engine.Params{Cfg: core.Config{Dmax: 3}, Seed: 1, Workers: workers}, topo)
+	s.StepTicks(100)
+	return s
+}
+
+// bruteRecord derives one full per-round stat record — everything
+// obs.RoundStats carries: ΠA, per-group ΠS rate, ΠM, nee, and the
+// transition predicates ΠT/ΠC against the previous round — through the
+// brute-force snapshot path. This is what a PR 2-era soak loop had to
+// pay per observed round.
+func bruteRecord(s *engine.Engine, mt *metrics.Tracker) {
+	snap := s.Snapshot()
+	snap.Agreement()
+	snap.SafetyRate(3)
+	snap.Maximality(3)
+	snap.ExternalEdges()
+	mt.Observe(snap, 3) // ΠT, ΠC, membership churn (clones the config)
+}
+
+// BenchmarkGroupTracker is the soak-loop unit: one full round (Tc ticks)
+// plus one observation, on the incremental tracker and on the
+// brute-force snapshot path producing the same record.
+func BenchmarkGroupTracker(b *testing.B) {
+	b.Run("tracker-4workers", func(b *testing.B) {
+		s := obsBenchEngine(4)
+		tr := obs.NewGroupTracker(s)
+		tr.Observe()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.StepRound()
+			if st := tr.Observe(); st.Nodes != 5000 {
+				b.Fatal("bad stats")
+			}
+		}
+	})
+	b.Run("snapshot-4workers", func(b *testing.B) {
+		s := obsBenchEngine(4)
+		mt := metrics.NewTracker()
+		mt.Observe(s.Snapshot(), 3)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.StepRound()
+			bruteRecord(s, mt)
+		}
+	})
+}
+
+// BenchmarkSpatialStepStats is the acceptance benchmark: the N=5000
+// mobile tick *with per-round statistics enabled*, observing every tick
+// — on the PR 2 path (full snapshot re-derivation) and on the
+// incremental tracker. Compare with the stats-free BenchmarkSpatialStep
+// to isolate the observability overhead; the acceptance ratio is
+// (snapshot-stats − step) / (tracker-stats − step).
+func BenchmarkSpatialStepStats(b *testing.B) {
+	b.Run("nostats-4workers", func(b *testing.B) { // control: the bare settled tick
+		s := obsBenchEngine(4)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Step()
+		}
+	})
+	b.Run("snapshot-4workers", func(b *testing.B) {
+		s := obsBenchEngine(4)
+		mt := metrics.NewTracker()
+		mt.Observe(s.Snapshot(), 3)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Step()
+			bruteRecord(s, mt)
+		}
+	})
+	b.Run("tracker-4workers", func(b *testing.B) {
+		s := obsBenchEngine(4)
+		tr := obs.NewGroupTracker(s)
+		tr.Observe()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Step()
+			if st := tr.Observe(); st.Nodes != 5000 {
+				b.Fatal("bad stats")
+			}
+		}
+	})
 }

@@ -6,6 +6,7 @@
 //
 //	grpsim -topo line -n 8 -dmax 3 -rounds 60 [-seed 1] [-loss 0.1] [-watch] [-workers 4]
 //	grpsim -topo highway -n 12 -dmax 4 -rounds 120
+//	grpsim -topo waypoint -n 200 -rounds 300 -stats run.jsonl
 //
 // Topologies: line, ring, grid (rows x cols ≈ n), star, clique, clusters,
 // rgg, highway (mobile), waypoint (mobile), convoy (mobile), urban
@@ -25,6 +26,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/ident"
 	"repro/internal/mobility"
+	"repro/internal/obs"
 	"repro/internal/radio"
 	"repro/internal/space"
 )
@@ -38,6 +40,7 @@ func main() {
 	loss := flag.Float64("loss", 0, "i.i.d. message loss probability")
 	watch := flag.Bool("watch", false, "print groups every round (default: only on change)")
 	workers := flag.Int("workers", 1, "engine worker fan-out (same trace at any width)")
+	stats := flag.String("stats", "", "stream per-round stat records to this file (.csv: CSV, else JSONL)")
 	flag.Parse()
 
 	p := engine.Params{Cfg: core.Config{Dmax: *dmax}, Seed: *seed, Workers: *workers}
@@ -51,23 +54,50 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The round loop reads everything — the partition, the predicates and
+	// the optional stat stream — from the incremental tracker; the
+	// brute-force snapshot path stays available as the test oracle but is
+	// no longer paid per round here.
+	tr := obs.NewGroupTracker(s)
+	var sink obs.Sink
+	if *stats != "" {
+		var err error
+		sink, err = obs.OpenSink(*stats, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "grpsim:", err)
+			os.Exit(2)
+		}
+	}
+
 	last := ""
+	var st obs.RoundStats
 	for r := 1; r <= *rounds; r++ {
 		s.StepRound()
-		snap := s.Snapshot()
-		cur := fmt.Sprintf("%v", snap.Groups())
+		st = tr.Observe()
+		if sink != nil {
+			if err := sink.Write(st); err != nil {
+				fmt.Fprintln(os.Stderr, "grpsim:", err)
+				os.Exit(1)
+			}
+		}
+		cur := fmt.Sprintf("%v", tr.Groups())
 		if *watch || cur != last {
 			conv := ""
-			if snap.Converged(*dmax) {
+			if st.Converged {
 				conv = "  [ΠA∧ΠS∧ΠM]"
 			}
 			fmt.Printf("round %3d: %s%s\n", r, cur, conv)
 			last = cur
 		}
 	}
-	snap := s.Snapshot()
+	if sink != nil {
+		if err := sink.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "grpsim:", err)
+			os.Exit(1)
+		}
+	}
 	fmt.Printf("\nfinal: groups=%d singletons=%d mean_size=%.2f converged=%v\n",
-		snap.GroupCount(), snap.SingletonCount(), snap.MeanGroupSize(), snap.Converged(*dmax))
+		st.Groups, st.Singletons, st.MeanSize, st.Converged)
 	fmt.Printf("traffic: %d msgs, %d bytes, %d deliveries\n", s.MessagesSent, s.BytesSent, s.Deliveries)
 }
 

@@ -146,6 +146,7 @@ type Node struct {
 
 	computes uint64
 	version  uint64 // bumped on every observable-state change (Compute, LoadState)
+	viewVer  uint64 // bumped only when the view *content* changes
 
 	// Per-node scratch reused across computes (never escapes): the view
 	// and quarantine double-buffers swap with the live maps each round,
@@ -178,6 +179,8 @@ func NewNode(id ident.NodeID, cfg Config) *Node {
 		viewSpare: make(map[ident.NodeID]bool),
 		quarSpare: make(map[ident.NodeID]int),
 		workBuf:   make(map[ident.NodeID]*incoming),
+
+		viewVer: 1,
 	}
 	n.group = n.self
 	return n
@@ -232,6 +235,25 @@ func (n *Node) Computes() uint64 { return n.computes }
 // between computes instead of re-assembling it on every send timer.
 func (n *Node) Version() uint64 { return n.version }
 
+// ViewVersion returns a counter that increases only when the view's
+// *content* changes (a Compute that leaves the view identical does not
+// move it, unlike Version). Incremental observers (obs.GroupTracker) key
+// their per-node view caches on it: at steady state every compute is a
+// single counter comparison instead of a view re-extraction.
+func (n *Node) ViewVersion() uint64 { return n.viewVer }
+
+// AppendView appends the view members in ascending order to buf and
+// returns the extended slice — the allocation-free variant of View.
+func (n *Node) AppendView(buf []ident.NodeID) []ident.NodeID {
+	start := len(buf)
+	for v := range n.view {
+		buf = append(buf, v)
+	}
+	tail := buf[start:]
+	sort.Slice(tail, func(i, j int) bool { return tail[i] < tail[j] })
+	return buf
+}
+
 // QuarantineOf returns the remaining quarantine of u, or -1 when u is not
 // tracked (absent or marked in the list).
 func (n *Node) QuarantineOf(u ident.NodeID) int {
@@ -277,6 +299,20 @@ func (n *Node) LoadState(list antlist.List, view map[ident.NodeID]bool, quar map
 	n.streak = make(map[ident.NodeID]int)
 	n.synced = true
 	n.version++
+	n.viewVer++
+}
+
+// viewEqual reports whether two view sets have identical membership.
+func viewEqual(a, b map[ident.NodeID]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for v := range a {
+		if !b[v] {
+			return false
+		}
+	}
+	return true
 }
 
 // Receive stores a neighbor's message. Only the last message per sender is
@@ -579,6 +615,9 @@ func (n *Node) Compute() {
 	n.prios[n.id] = n.self
 
 	n.list = newList
+	if !viewEqual(nv, n.view) {
+		n.viewVer++
+	}
 	n.viewSpare = n.view
 	n.view = nv
 

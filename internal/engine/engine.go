@@ -53,6 +53,10 @@ const NumShards = 64
 // shardOf maps a node to its shard.
 func shardOf(v ident.NodeID) int { return int(uint32(v) % NumShards) }
 
+// ShardOf maps a node to its engine shard — exported for observers
+// (internal/obs) that mirror the engine's deterministic fan-out.
+func ShardOf(v ident.NodeID) int { return shardOf(v) }
+
 // shardSeed derives shard s's private RNG seed from the run seed
 // (splitmix64 finalizer, so neighboring shards get uncorrelated streams).
 func shardSeed(seed int64, s int) int64 {
@@ -154,6 +158,17 @@ type Engine struct {
 
 	snap metrics.SnapshotBuilder
 
+	// Dirty-node reporting for incremental observers (obs.GroupTracker):
+	// while enabled, the compute phase appends every node that ran
+	// Compute to its shard's list (shard-local, so the parallel phase
+	// needs no locks), and membership changes are recorded on the
+	// coordinator. DrainDirty hands the accumulated report to the
+	// observer and resets it.
+	dirtyOn       bool
+	dirtyComputed [NumShards][]ident.NodeID
+	dirtyAdded    []ident.NodeID
+	dirtyRemoved  []ident.NodeID
+
 	// MessagesSent counts broadcasts; BytesSent their encoded sizes;
 	// Deliveries successful receptions.
 	MessagesSent int
@@ -214,6 +229,9 @@ func (e *Engine) addNode(v ident.NodeID) {
 		e.sendWheel.add(v, e.phase[v])
 	}
 	e.computeWheel.add(v, e.phase[v])
+	if e.dirtyOn {
+		e.dirtyAdded = append(e.dirtyAdded, v)
+	}
 }
 
 // AddNode introduces a fresh node mid-run (it must already be present in
@@ -242,6 +260,29 @@ func (e *Engine) RemoveNode(v ident.NodeID) {
 	}
 	e.computeWheel.remove(v, e.phase[v])
 	delete(e.phase, v)
+	if e.dirtyOn {
+		e.dirtyRemoved = append(e.dirtyRemoved, v)
+	}
+}
+
+// TrackDirty enables dirty-node reporting. Observers call it once at
+// attach time and then DrainDirty after every observation window; nodes
+// that computed before tracking was enabled are not reported (a fresh
+// observer must do one full sync on its first observation anyway).
+func (e *Engine) TrackDirty() { e.dirtyOn = true }
+
+// DrainDirty hands the dirty report accumulated since the previous drain
+// to fn and resets it: computed holds, per engine shard, the nodes whose
+// Compute ran (shard-major canonical order; a node computing k times
+// appears k times), added and removed the membership changes in call
+// order. The slices are only valid during fn.
+func (e *Engine) DrainDirty(fn func(computed [NumShards][]ident.NodeID, added, removed []ident.NodeID)) {
+	fn(e.dirtyComputed, e.dirtyAdded, e.dirtyRemoved)
+	for s := range e.dirtyComputed {
+		e.dirtyComputed[s] = e.dirtyComputed[s][:0]
+	}
+	e.dirtyAdded = e.dirtyAdded[:0]
+	e.dirtyRemoved = e.dirtyRemoved[:0]
 }
 
 // Tick returns the current tick count.
@@ -396,6 +437,9 @@ func (e *Engine) Step() {
 		for _, v := range cdue[s] {
 			if n, ok := e.Nodes[v]; ok {
 				n.Compute()
+				if e.dirtyOn {
+					e.dirtyComputed[s] = append(e.dirtyComputed[s], v)
+				}
 			}
 		}
 	})
@@ -426,11 +470,20 @@ func (e *Engine) Snapshot() metrics.Snapshot {
 	for _, v := range e.order.IDs() {
 		views[v] = e.Nodes[v].ViewSet()
 	}
-	g := e.snap.Graph(e.Topo.Graph(), e.memberGen, func(v ident.NodeID) bool {
+	return metrics.Snapshot{G: e.SnapshotGraph(), Views: views}
+}
+
+// SnapshotGraph returns the topology graph restricted to the live
+// protocol nodes — the G half of Snapshot without materializing any view
+// map. Incremental observers key their per-node neighborhood caches on
+// its (pointer, generation) identity; like Snapshot's graph it is served
+// from the builder's cache and replaced, never mutated, when the topology
+// or the membership changes.
+func (e *Engine) SnapshotGraph() *graph.G {
+	return e.snap.Graph(e.Topo.Graph(), e.memberGen, func(v ident.NodeID) bool {
 		_, ok := e.Nodes[v]
 		return ok
 	})
-	return metrics.Snapshot{G: g, Views: views}
 }
 
 // RunUntilConverged steps whole rounds until the legitimacy predicate

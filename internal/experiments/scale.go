@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/mobility"
+	"repro/internal/obs"
 	"repro/internal/space"
 	"repro/internal/trace"
 )
@@ -47,6 +48,7 @@ func E7cSpatialScale(seeds int, sizes ...int) *trace.Table {
 			m := &mobility.Waypoint{Side: rwpSide(n), SpeedMin: 0.5, SpeedMax: 2, Pause: 1}
 			topo := engine.NewSpatialTopology(w, m, 0.2, idRange(n), rand.New(rand.NewSource(seed)))
 			s := engine.New(engine.Params{Cfg: core.Config{Dmax: 3}, Seed: seed, Workers: 4}, topo)
+			tr := obs.NewGroupTracker(s)
 			t0 := time.Now()
 			for r := 0; r < rounds-safeWindow; r++ {
 				s.StepRound()
@@ -54,17 +56,20 @@ func E7cSpatialScale(seeds int, sizes ...int) *trace.Table {
 			// ΠS is evaluated against the instantaneous topology, so
 			// mobility breaks it transiently somewhere in the population
 			// on nearly every round at this scale; report the per-group
-			// freshness rate (metrics.SafetyRate) sampled over the tail.
+			// freshness rate sampled over the tail. The incremental
+			// tracker (internal/obs) replaces the per-round snapshot
+			// re-derivation the seed paid here.
+			var st obs.RoundStats
 			for r := 0; r < safeWindow; r++ {
 				s.StepRound()
 				safeRounds++
-				safeRateSum += s.Snapshot().SafetyRate(3)
+				st = tr.Observe()
+				safeRateSum += st.SafetyRate
 			}
 			ticksPerSec += float64(s.Tick()) / time.Since(t0).Seconds()
-			snap := s.Snapshot()
-			degSum += 2 * float64(snap.G.NumEdges()) / float64(n)
-			groupSum += float64(snap.GroupCount())
-			groupedSum += 100 * float64(n-snap.SingletonCount()) / float64(n)
+			degSum += 2 * float64(st.Edges) / float64(n)
+			groupSum += float64(st.Groups)
+			groupedSum += 100 * float64(n-st.Singletons) / float64(n)
 		}
 		f := float64(seeds)
 		tb.AddRow(n, degSum/f, groupSum/f, groupedSum/f,
@@ -100,13 +105,28 @@ func E13bDense(seeds int) *trace.Table {
 			topo := engine.NewSpatialTopology(w, &mobility.Static{Side: side}, 0.1,
 				idRange(n), rand.New(rand.NewSource(seed)))
 			s := engine.New(engine.Params{Cfg: core.Config{Dmax: dmax}, Seed: seed}, topo)
-			if _, ok := s.RunUntilConverged(300, 3); ok {
-				conv++
+			// The convergence loop runs on the incremental tracker: one
+			// Observe per round replaces the full snapshot re-derivation
+			// RunUntilConverged paid (same predicate, same streak rule).
+			tr := obs.NewGroupTracker(s)
+			var st obs.RoundStats
+			streak := 0
+			for round := 1; round <= 300; round++ {
+				s.StepRound()
+				st = tr.Observe()
+				if st.Converged {
+					streak++
+					if streak >= 3 {
+						conv++
+						break
+					}
+				} else {
+					streak = 0
+				}
 			}
-			snap := s.Snapshot()
-			degSum += 2 * float64(snap.G.NumEdges()) / float64(n)
-			groups += snap.GroupCount()
-			safe = safe && snap.Safety(dmax)
+			degSum += 2 * float64(st.Edges) / float64(n)
+			groups += st.Groups
+			safe = safe && st.Safety
 		}
 		tb.AddRow(r, degSum/float64(seeds), ratio(conv, seeds), safe,
 			float64(groups)/float64(seeds))

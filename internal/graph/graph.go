@@ -103,6 +103,19 @@ func (g *G) Nodes() []ident.NodeID {
 	return out
 }
 
+// AppendNodes appends all nodes in ascending order to buf and returns the
+// extended slice — the allocation-free variant of Nodes for callers that
+// iterate every round and can recycle a buffer (obs, metrics).
+func (g *G) AppendNodes(buf []ident.NodeID) []ident.NodeID {
+	start := len(buf)
+	for v := range g.adj {
+		buf = append(buf, v)
+	}
+	tail := buf[start:]
+	sort.Slice(tail, func(i, j int) bool { return tail[i] < tail[j] })
+	return buf
+}
+
 // NumNodes returns the node count.
 func (g *G) NumNodes() int { return len(g.adj) }
 
@@ -123,6 +136,29 @@ func (g *G) Neighbors(v ident.NodeID) []ident.NodeID {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// AppendNeighbors appends v's neighbors in ascending order to buf and
+// returns the extended slice — the allocation-free variant of Neighbors
+// for per-round hot paths.
+func (g *G) AppendNeighbors(v ident.NodeID, buf []ident.NodeID) []ident.NodeID {
+	start := len(buf)
+	for u := range g.adj[v] {
+		buf = append(buf, u)
+	}
+	tail := buf[start:]
+	sort.Slice(tail, func(i, j int) bool { return tail[i] < tail[j] })
+	return buf
+}
+
+// ForEachNeighbor calls fn for every neighbor of v, in unspecified
+// order — the zero-allocation iteration for order-insensitive hot paths
+// (BFS frontiers, commutative set hashes). AppendNeighbors is the
+// ordered variant.
+func (g *G) ForEachNeighbor(v ident.NodeID, fn func(u ident.NodeID)) {
+	for u := range g.adj[v] {
+		fn(u)
+	}
 }
 
 // Degree returns the number of neighbors of v.

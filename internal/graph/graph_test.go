@@ -226,3 +226,38 @@ func TestQuickInducedDiameterMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAppendVariantsMatchAllocating(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := RandomGeometric(20, 10, 4, rng)
+	buf := make([]ident.NodeID, 0, 8)
+	buf = append(buf, 999) // pre-existing content must survive
+	got := g.AppendNodes(buf)
+	if got[0] != 999 {
+		t.Fatal("AppendNodes clobbered the caller's prefix")
+	}
+	want := g.Nodes()
+	if len(got)-1 != len(want) {
+		t.Fatalf("AppendNodes len = %d, want %d", len(got)-1, len(want))
+	}
+	for i, v := range want {
+		if got[i+1] != v {
+			t.Fatalf("AppendNodes[%d] = %v, want %v", i, got[i+1], v)
+		}
+	}
+	for _, v := range want {
+		nb := g.AppendNeighbors(v, got[:0])
+		wantNb := g.Neighbors(v)
+		if len(nb) != len(wantNb) {
+			t.Fatalf("AppendNeighbors(%v) len = %d, want %d", v, len(nb), len(wantNb))
+		}
+		for i := range nb {
+			if nb[i] != wantNb[i] {
+				t.Fatalf("AppendNeighbors(%v) = %v, want %v", v, nb, wantNb)
+			}
+		}
+	}
+	if nb := g.AppendNeighbors(12345, nil); len(nb) != 0 {
+		t.Fatalf("AppendNeighbors of absent node = %v", nb)
+	}
+}

@@ -42,16 +42,23 @@ func (s Snapshot) Omega(v ident.NodeID) map[ident.NodeID]bool {
 // Groups returns the distinct groups {Ω_v : v ∈ V}, each sorted, the list
 // sorted by first member. Every node belongs to exactly one returned
 // group when ΠA holds; otherwise singleton Ωs fill the gaps.
+//
+// Distinct Ω sets are pairwise disjoint even when ΠA fails (a member u of
+// a locally-agreeing group has view_u equal to that group, so u cannot
+// simultaneously be the bad node of a singleton Ω or a member of a
+// different agreeing view), so the minimum member is a unique
+// representative — deduplicating on it replaces the per-node canonical
+// string key the seed built (one allocation per node per call).
 func (s Snapshot) Groups() [][]ident.NodeID {
-	seen := make(map[string]bool)
+	nodes := s.G.AppendNodes(make([]ident.NodeID, 0, s.G.NumNodes()))
+	seen := make(map[ident.NodeID]bool, len(nodes))
 	var out [][]ident.NodeID
-	for _, v := range s.G.Nodes() {
+	for _, v := range nodes {
 		om := s.Omega(v)
-		ids := setToSorted(om)
-		k := key(ids)
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, ids)
+		rep := representative(om)
+		if !seen[rep] {
+			seen[rep] = true
+			out = append(out, setToSorted(om))
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
@@ -60,10 +67,14 @@ func (s Snapshot) Groups() [][]ident.NodeID {
 
 // Agreement evaluates ΠA: the views must define a partition of the nodes
 // into disjoint subgraphs — u and v are in the same part iff their views
-// are equal to that part.
+// are equal to that part. The per-node local check (v in its own view,
+// every member's view equal to it) implies the partition consistency the
+// seed double-checked with a canonical-key assignment map: if u appeared
+// in two different views A and B that both pass their local checks, then
+// view_u = A and view_u = B, a contradiction — so the local checks alone
+// decide ΠA, without a string key per group.
 func (s Snapshot) Agreement() bool {
-	assigned := make(map[ident.NodeID]string)
-	for _, v := range s.G.Nodes() {
+	for _, v := range s.G.AppendNodes(make([]ident.NodeID, 0, s.G.NumNodes())) {
 		vw := s.Views[v]
 		if vw == nil || !vw[v] {
 			return false
@@ -73,13 +84,6 @@ func (s Snapshot) Agreement() bool {
 				return false
 			}
 		}
-		k := key(setToSorted(vw))
-		for u := range vw {
-			if prev, ok := assigned[u]; ok && prev != k {
-				return false
-			}
-			assigned[u] = k
-		}
 	}
 	return true
 }
@@ -87,14 +91,14 @@ func (s Snapshot) Agreement() bool {
 // Safety evaluates ΠS: every group Ω_v is connected and has diameter at
 // most dmax in its induced subgraph.
 func (s Snapshot) Safety(dmax int) bool {
-	checked := make(map[string]bool)
-	for _, v := range s.G.Nodes() {
+	checked := make(map[ident.NodeID]bool)
+	for _, v := range s.G.AppendNodes(make([]ident.NodeID, 0, s.G.NumNodes())) {
 		om := s.Omega(v)
-		k := key(setToSorted(om))
-		if checked[k] {
+		rep := representative(om)
+		if checked[rep] {
 			continue
 		}
-		checked[k] = true
+		checked[rep] = true
 		if s.G.InducedDiameter(om) > dmax {
 			return false
 		}
@@ -158,14 +162,14 @@ func (s Snapshot) Converged(dmax int) bool {
 // topology, using only previous-group members as relays. Nodes that left
 // the network make the distance infinite, falsifying ΠT.
 func Topological(prev, next Snapshot, dmax int) bool {
-	checked := make(map[string]bool)
+	checked := make(map[ident.NodeID]bool)
 	for _, v := range prev.G.Nodes() {
 		om := prev.Omega(v)
-		k := key(setToSorted(om))
-		if checked[k] {
+		rep := representative(om)
+		if checked[rep] {
 			continue
 		}
-		checked[k] = true
+		checked[rep] = true
 		if len(om) == 1 {
 			continue // singletons are never stretched
 		}
@@ -255,6 +259,22 @@ func setToSorted(m map[ident.NodeID]bool) []ident.NodeID {
 	return out
 }
 
+// representative returns the minimum member of a non-empty Ω set — its
+// unique representative (distinct Ω sets are disjoint; see Groups).
+func representative(m map[ident.NodeID]bool) ident.NodeID {
+	first := true
+	var rep ident.NodeID
+	for v := range m {
+		if first || v < rep {
+			rep, first = v, false
+		}
+	}
+	return rep
+}
+
+// key renders a sorted ID list as a canonical string. It survives only as
+// the cross-round group identity of the Tracker's lifetime accounting —
+// the per-snapshot predicates dedup by representative instead.
 func key(ids []ident.NodeID) string {
 	b := make([]byte, 0, len(ids)*5)
 	for _, v := range ids {
@@ -270,9 +290,11 @@ func key(ids []ident.NodeID) string {
 // merges left).
 func (s Snapshot) ExternalEdges() int {
 	n := 0
+	var nbuf []ident.NodeID
 	for _, v := range s.G.Nodes() {
 		om := s.Omega(v)
-		for _, u := range s.G.Neighbors(v) {
+		nbuf = s.G.AppendNeighbors(v, nbuf[:0])
+		for _, u := range nbuf {
 			if u > v && !om[u] {
 				n++
 			}

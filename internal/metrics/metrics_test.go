@@ -263,3 +263,86 @@ func TestExternalEdges(t *testing.T) {
 		t.Fatalf("nee = %d, want 2", got)
 	}
 }
+
+func TestTopologicalRelaysRestrictedToGroup(t *testing.T) {
+	// Prev group {1,2,3} on a line 1-2-3. Next topology replaces the 2-3
+	// edge with a detour through outsider 4 (2-4, 4-3): members stay
+	// connected in the graph, but ΠT only allows prev-group members as
+	// relays, so the group is stretched to ∞.
+	prev := snapLine(3, []uint32{1, 2, 3})
+	next := snapLine(3, []uint32{1, 2, 3})
+	next.G.RemoveEdge(2, 3)
+	next.G.AddEdge(2, 4)
+	next.G.AddEdge(4, 3)
+	if Topological(prev, next, 3) {
+		t.Fatal("detour through a non-member must not satisfy ΠT")
+	}
+	// With the direct edge restored the group fits again.
+	next.G.AddEdge(2, 3)
+	if !Topological(prev, next, 2) {
+		t.Fatal("restored edge must satisfy ΠT")
+	}
+}
+
+func TestTopologicalDedupsByGroup(t *testing.T) {
+	// Two groups sharing the dmax budget: only {3,4} is stretched.
+	prev := snapLine(4, []uint32{1, 2}, []uint32{3, 4})
+	next := snapLine(4, []uint32{1, 2}, []uint32{3, 4})
+	next.G.RemoveEdge(3, 4)
+	if Topological(prev, next, 1) {
+		t.Fatal("cut inside {3,4} must falsify ΠT")
+	}
+	next2 := snapLine(4, []uint32{1, 2}, []uint32{3, 4})
+	next2.G.RemoveEdge(2, 3) // only the inter-group bridge moved
+	if !Topological(prev, next2, 1) {
+		t.Fatal("bridge cut between groups must not falsify ΠT")
+	}
+}
+
+func TestContinuityViolationsIdentifiesNodes(t *testing.T) {
+	// {1,2,3} splits: 3 secedes. Nodes 1 and 2 keep agreeing on {1,2} —
+	// each lost member 3 — and 3's own group shrank too.
+	prev := snapLine(3, []uint32{1, 2, 3})
+	next := snapLine(3, []uint32{1, 2}, []uint32{3})
+	viol := ContinuityViolations(prev, next)
+	want := map[ident.NodeID]bool{1: true, 2: true, 3: true}
+	if len(viol) != len(want) {
+		t.Fatalf("violations = %v, want nodes 1,2,3", viol)
+	}
+	for _, v := range viol {
+		if !want[v] {
+			t.Fatalf("unexpected violator %v in %v", v, viol)
+		}
+	}
+	// A departed node is not a violator itself, but survivors that lose
+	// it are.
+	gone := snapLine(3, []uint32{1, 2}, []uint32{3})
+	gone.G.RemoveNode(3)
+	delete(gone.Views, 3)
+	viol = ContinuityViolations(snapLine(3, []uint32{1, 2}, []uint32{3}), gone)
+	if len(viol) != 0 {
+		t.Fatalf("only node 3 left and it was a singleton: %v", viol)
+	}
+	// Growth is never a violation.
+	if v := ContinuityViolations(next, prev); len(v) != 0 {
+		t.Fatalf("merge reported violations: %v", v)
+	}
+}
+
+func TestGroupsRepresentativeDedupOnDisagreement(t *testing.T) {
+	// A disagreeing configuration: 2 claims {1,2}, 1 claims {1}. Ω sets
+	// are {1} (for 1), {2} (for 2, disagreement singleton) — the
+	// representative dedup must not conflate them with {1,2}.
+	s := snapLine(2)
+	s.Views = map[ident.NodeID]map[ident.NodeID]bool{
+		1: {1: true},
+		2: {1: true, 2: true},
+	}
+	groups := s.Groups()
+	if len(groups) != 2 || len(groups[0]) != 1 || len(groups[1]) != 1 {
+		t.Fatalf("groups = %v, want [[1] [2]]", groups)
+	}
+	if s.Agreement() {
+		t.Fatal("agreement must fail")
+	}
+}

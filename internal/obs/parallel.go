@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/ident"
+)
+
+// The tracker mirrors the engine's deterministic fan-out discipline: node
+// work is partitioned into the engine's fixed NumShards shards, every
+// parallel phase writes only shard-local (or slot-local) state, and the
+// coordinator merges results in shard-major canonical order. The observed
+// statistics are therefore bit-identical at any worker count.
+
+// runShards applies fn to every engine shard: inline when workers ≤ 1,
+// else on a pool of workers goroutines with a static shard-to-worker
+// assignment. fn(s, w) must only write state owned by shard s or by
+// worker w.
+func (t *GroupTracker) runShards(fn func(s, w int)) {
+	w := t.workers
+	if w <= 1 {
+		for s := 0; s < engine.NumShards; s++ {
+			fn(s, 0)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func(i int) {
+			defer wg.Done()
+			for s := i; s < engine.NumShards; s += w {
+				fn(s, i)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// runSlots is a deterministic parallel-for over n independent slots: fn
+// must be a pure evaluation writing only results[i] and worker-w scratch,
+// so the outcome is independent of which worker processes which slot.
+func (t *GroupTracker) runSlots(n int, fn func(i, w int)) {
+	w := t.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i, 0)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func(k int) {
+			defer wg.Done()
+			for i := k; i < n; i += w {
+				fn(i, k)
+			}
+		}(k)
+	}
+	wg.Wait()
+}
+
+// workerScratch is one worker's reusable evaluation buffers: array-based
+// BFS state for the small groups the Dmax bound produces, with a
+// map-based fallback for pathological sizes.
+type workerScratch struct {
+	dist  []int          // distance per member index, -1 = unreached
+	queue []int          // member-index frontier
+	ubuf  []ident.NodeID // union-of-two-groups member buffer
+
+	set   map[ident.NodeID]bool // fallback: membership of the evaluated group
+	mdist map[ident.NodeID]int
+	mq    []ident.NodeID
+}
+
+func newWorkerScratch() *workerScratch {
+	return &workerScratch{
+		set:   make(map[ident.NodeID]bool),
+		mdist: make(map[ident.NodeID]int),
+	}
+}
+
+// smallGroup is the member count up to which the induced-diameter BFS
+// runs on index arrays with linear membership scans — no map traffic.
+// Groups are Dmax-bounded in practice, so the fallback is for corrupted
+// or adversarial configurations only.
+const smallGroup = 48
+
+// stretched reports whether the subgraph of g induced by members has
+// diameter > dmax (disconnection counts as infinite): the single quantity
+// behind both ΠS (evaluated on the current partition and graph) and ΠT
+// (evaluated on the previous partition against the new graph — a member
+// that left g is unreachable and stretches the group). Singleton groups
+// are never stretched.
+func (w *workerScratch) stretched(g *graph.G, members []ident.NodeID, dmax int) bool {
+	k := len(members)
+	if k <= 1 {
+		return false
+	}
+	if k > smallGroup {
+		return w.stretchedLarge(g, members, dmax)
+	}
+	if cap(w.dist) < k {
+		w.dist = make([]int, k)
+	}
+	dist := w.dist[:k]
+	for src := 0; src < k; src++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[src] = 0
+		w.queue = append(w.queue[:0], src)
+		reached := 1
+		over := false
+		for qi := 0; qi < len(w.queue); qi++ {
+			i := w.queue[qi]
+			dv := dist[i]
+			g.ForEachNeighbor(members[i], func(u ident.NodeID) {
+				// Linear membership scan: the slice is tiny.
+				for j := 0; j < k; j++ {
+					if members[j] == u {
+						if dist[j] < 0 {
+							if dv+1 > dmax {
+								over = true
+								return
+							}
+							dist[j] = dv + 1
+							w.queue = append(w.queue, j)
+							reached++
+						}
+						return
+					}
+				}
+			})
+			if over {
+				return true
+			}
+		}
+		if reached != k {
+			return true // disconnected (or src left the graph)
+		}
+	}
+	return false
+}
+
+// stretchedLarge is the map-based fallback for oversized groups.
+func (w *workerScratch) stretchedLarge(g *graph.G, members []ident.NodeID, dmax int) bool {
+	clear(w.set)
+	for _, v := range members {
+		w.set[v] = true
+	}
+	for _, src := range members {
+		clear(w.mdist)
+		w.mq = append(w.mq[:0], src)
+		w.mdist[src] = 0
+		over := false
+		for qi := 0; qi < len(w.mq); qi++ {
+			v := w.mq[qi]
+			dv := w.mdist[v]
+			g.ForEachNeighbor(v, func(u ident.NodeID) {
+				if !w.set[u] || over {
+					return
+				}
+				if _, seen := w.mdist[u]; !seen {
+					if dv+1 > dmax {
+						over = true
+						return
+					}
+					w.mdist[u] = dv + 1
+					w.mq = append(w.mq, u)
+				}
+			})
+			if over {
+				return true
+			}
+		}
+		if len(w.mdist) != len(members) {
+			return true
+		}
+	}
+	return false
+}
+
+// mergeable reports whether the union of two disjoint groups induces a
+// subgraph of diameter ≤ dmax — the pairwise test of ΠM, evaluated only
+// for groups joined by at least one external edge (a union with no
+// connecting edge is disconnected, hence never mergeable).
+func (w *workerScratch) mergeable(g *graph.G, a, b []ident.NodeID, dmax int) bool {
+	w.ubuf = w.ubuf[:0]
+	w.ubuf = append(w.ubuf, a...)
+	w.ubuf = append(w.ubuf, b...)
+	return !w.stretched(g, w.ubuf, dmax)
+}
+
+// mix is the splitmix64 finalizer, the mixing step behind the tracker's
+// commutative set hashes.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// hashIDs hashes an ID set commutatively (sum of mixed members), so the
+// iteration order never matters. Callers compare lengths separately;
+// equal hashes are always confirmed by an exact slice comparison before
+// any decision, so a collision can cost a comparison, never correctness.
+func hashIDs(ids []ident.NodeID) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, v := range ids {
+		h += mix(uint64(v) + 0x9e3779b97f4a7c15)
+	}
+	return h
+}

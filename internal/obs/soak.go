@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/ident"
+	"repro/internal/mobility"
+	"repro/internal/space"
+)
+
+// SoakConfig parameterizes a long mobile-churn run: a random-waypoint
+// world at constant density (optionally with an urban wall grid), nodes
+// joining and leaving, the tracker observing every round, records
+// streaming to a sink. Everything is deterministic for a fixed seed and
+// any worker count; only the wall-clock duration cap makes a run
+// machine-dependent (use MaxRounds for reproducible runs).
+type SoakConfig struct {
+	N    int // initial population (default 500)
+	Dmax int // group diameter bound (default 3)
+
+	Range float64 // radio range (default 2.5)
+	Side  float64 // world side; 0 derives constant density from N
+	Urban bool    // add a Manhattan-style wall grid
+	DT    float64 // simulated seconds per tick (default 0.2)
+
+	Seed    int64
+	Workers int
+
+	// JoinRate and LeaveRate are per-round probabilities of one node
+	// joining (at a uniform position) and one leaving (uniform choice).
+	JoinRate  float64
+	LeaveRate float64
+
+	MaxRounds int           // stop after this many rounds (default 1000)
+	Duration  time.Duration // optional wall-clock cap
+
+	Sink          Sink                       // optional per-round record stream
+	Progress      func(r int, st RoundStats) // optional progress callback
+	ProgressEvery int                        // rounds between callbacks (default 500)
+}
+
+func (c *SoakConfig) normalize() {
+	if c.N <= 0 {
+		c.N = 500
+	}
+	if c.Dmax <= 0 {
+		c.Dmax = 3
+	}
+	if c.Range <= 0 {
+		c.Range = 2.5
+	}
+	if c.Side <= 0 {
+		// Constant density: mean symmetric degree ≈ 2.7 at range 2.5
+		// (the E7c regime).
+		c.Side = math.Max(10, 2.7*math.Sqrt(float64(c.N))*c.Range/2.5)
+	}
+	if c.DT <= 0 {
+		c.DT = 0.2
+	}
+	if c.MaxRounds <= 0 {
+		c.MaxRounds = 1000
+	}
+	if c.ProgressEvery <= 0 {
+		c.ProgressEvery = 500
+	}
+}
+
+// SoakResult is the final report of a soak run. The violation counters
+// are cross-checked against an independent accumulation of the per-round
+// records — any drift between the stream and the tracker's cumulative
+// state fails the run.
+type SoakResult struct {
+	Rounds int
+	Ticks  int
+
+	Joined int
+	Left   int
+
+	ConvergedRounds  int     // rounds with ΠA ∧ ΠS ∧ ΠM
+	AgreementRounds  int     // rounds with ΠA
+	MeanSafetyRate   float64 // mean per-round ΠS group freshness
+	MeanGroups       float64
+	ContinuityBreaks int // rounds with ΠC false
+	TopologyBreaks   int // rounds with ΠT false
+	UnexcusedBreaks  int // ΠC false while ΠT held — contract violations
+	ViolatingNodes   int // total nodes that lost a group member
+
+	Final       RoundStats
+	Elapsed     time.Duration
+	TicksPerSec float64
+}
+
+// Report renders the human-readable final report.
+func (r *SoakResult) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "soak: %d rounds (%d ticks) in %s, %.0f ticks/s\n",
+		r.Rounds, r.Ticks, r.Elapsed.Round(time.Millisecond), r.TicksPerSec)
+	fmt.Fprintf(&b, "  population: %d nodes (+%d joined, -%d left), %d groups, %d singletons, mean size %.2f\n",
+		r.Final.Nodes, r.Joined, r.Left, r.Final.Groups, r.Final.Singletons, r.Final.MeanSize)
+	fmt.Fprintf(&b, "  legitimacy: ΠA %d/%d rounds, ΠA∧ΠS∧ΠM %d/%d rounds, mean ΠS group freshness %.1f%%\n",
+		r.AgreementRounds, r.Rounds, r.ConvergedRounds, r.Rounds, 100*r.MeanSafetyRate)
+	fmt.Fprintf(&b, "  best effort: %d ΠC breaks over %d topology breaks, %d violating nodes, %d unexcused\n",
+		r.ContinuityBreaks, r.TopologyBreaks, r.ViolatingNodes, r.UnexcusedBreaks)
+	return b.String()
+}
+
+// RunSoak executes one soak run. It returns an error only on sink
+// failures or counter drift; protocol-level violations are reported, not
+// fatal (the unexcused counter is the caller's assertion surface).
+func RunSoak(cfg SoakConfig) (*SoakResult, error) {
+	cfg.normalize()
+
+	w := space.NewWorld(cfg.Range)
+	if cfg.Urban {
+		block := math.Max(8, cfg.Side/6)
+		for x := block; x < cfg.Side; x += block {
+			for y := 0.0; y < cfg.Side; y += block {
+				w.Walls = append(w.Walls,
+					space.Segment{A: space.Point{X: x, Y: y + 1}, B: space.Point{X: x, Y: y + block - 1}},
+					space.Segment{A: space.Point{X: y + 1, Y: x}, B: space.Point{X: y + block - 1, Y: x}})
+			}
+		}
+	}
+	ids := make([]ident.NodeID, cfg.N)
+	for i := range ids {
+		ids[i] = ident.NodeID(i + 1)
+	}
+	mob := &mobility.Waypoint{Side: cfg.Side, SpeedMin: 0.5, SpeedMax: 2, Pause: 1}
+	topo := engine.NewSpatialTopology(w, mob, cfg.DT, ids, rand.New(rand.NewSource(cfg.Seed)))
+	e := engine.New(engine.Params{
+		Cfg:     core.Config{Dmax: cfg.Dmax},
+		Seed:    cfg.Seed,
+		Workers: cfg.Workers,
+	}, topo)
+	tr := NewGroupTracker(e)
+	churn := rand.New(rand.NewSource(cfg.Seed ^ 0x50a4))
+	nextID := ident.NodeID(cfg.N + 1)
+
+	res := &SoakResult{}
+	safetySum := 0.0
+	groupSum := 0.0
+	start := time.Now()
+	deadline := time.Time{}
+	if cfg.Duration > 0 {
+		deadline = start.Add(cfg.Duration)
+	}
+
+	var st RoundStats
+	for r := 1; r <= cfg.MaxRounds; r++ {
+		// Churn before the round: the topology advances over the change
+		// before the next observation (the tracker's contract).
+		if cfg.LeaveRate > 0 && churn.Float64() < cfg.LeaveRate {
+			order := e.Order()
+			if len(order) > 2 {
+				v := order[churn.Intn(len(order))]
+				e.RemoveNode(v)
+				w.Remove(v)
+				res.Left++
+			}
+		}
+		if cfg.JoinRate > 0 && churn.Float64() < cfg.JoinRate {
+			v := nextID
+			nextID++
+			w.Place(v, space.Point{X: churn.Float64() * cfg.Side, Y: churn.Float64() * cfg.Side})
+			e.AddNode(v)
+			res.Joined++
+		}
+
+		e.StepRound()
+		st = tr.Observe()
+		if cfg.Sink != nil {
+			if err := cfg.Sink.Write(st); err != nil {
+				return nil, fmt.Errorf("soak: sink: %w", err)
+			}
+		}
+
+		res.Rounds++
+		if st.Converged {
+			res.ConvergedRounds++
+		}
+		if st.Agreement {
+			res.AgreementRounds++
+		}
+		if !st.Continuity {
+			res.ContinuityBreaks++
+			if st.Topological {
+				res.UnexcusedBreaks++
+			}
+		}
+		if !st.Topological {
+			res.TopologyBreaks++
+		}
+		res.ViolatingNodes += st.ContinuityViolations
+		safetySum += st.SafetyRate
+		groupSum += float64(st.Groups)
+
+		if cfg.Progress != nil && r%cfg.ProgressEvery == 0 {
+			cfg.Progress(r, st)
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+	}
+
+	res.Final = st
+	res.Ticks = e.Tick()
+	res.Elapsed = time.Since(start)
+	if s := res.Elapsed.Seconds(); s > 0 {
+		res.TicksPerSec = float64(res.Ticks) / s
+	}
+	if res.Rounds > 0 {
+		res.MeanSafetyRate = safetySum / float64(res.Rounds)
+		res.MeanGroups = groupSum / float64(res.Rounds)
+	}
+
+	// Drift check: the tracker's cumulative counters must equal the
+	// independent accumulation over the streamed records. The first
+	// observation is transition-free on both sides.
+	if res.ContinuityBreaks != tr.ContinuityBreaks ||
+		res.TopologyBreaks != tr.TopologyBreaks ||
+		res.UnexcusedBreaks != tr.UnexcusedBreaks ||
+		res.ViolatingNodes != tr.ViolatingNodes {
+		return res, fmt.Errorf(
+			"soak: violation-counter drift: stream (ΠC %d, ΠT %d, unexcused %d, nodes %d) vs tracker (ΠC %d, ΠT %d, unexcused %d, nodes %d)",
+			res.ContinuityBreaks, res.TopologyBreaks, res.UnexcusedBreaks, res.ViolatingNodes,
+			tr.ContinuityBreaks, tr.TopologyBreaks, tr.UnexcusedBreaks, tr.ViolatingNodes)
+	}
+	return res, nil
+}

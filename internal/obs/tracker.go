@@ -1,0 +1,917 @@
+// Package obs is the incremental observability subsystem: it maintains
+// the Ω-partition of the Dynamic Group Service (the groups the metrics
+// predicates are defined over) across rounds instead of re-deriving it
+// from a full snapshot, and evaluates the specification predicates (ΠA,
+// ΠS, ΠM and the transition predicates ΠT, ΠC) by re-examining only the
+// nodes whose view or neighborhood actually changed.
+//
+// The brute-force path — engine.Snapshot plus the metrics predicates —
+// survives unchanged as the test oracle: obs must produce identical
+// results, and the property tests in this package enforce that on random
+// churning worlds. What obs changes is the cost model: a round where k of
+// n nodes changed view and j nodes changed neighborhood costs O(k+j)
+// group work plus one O(n·k̄) neighborhood sweep (only when the topology
+// moved), instead of the oracle's O(n·k̄²) full re-derivation with a map
+// and a canonical string per node.
+//
+// Parallel phases follow the engine's discipline (see parallel.go): work
+// is sharded by NodeID into engine.NumShards fixed shards or into
+// slot-indexed worklists, every parallel callback writes only shard- or
+// slot-local state, and every merge happens in canonical order, so the
+// observed statistics are bit-identical at any worker count.
+//
+// The tracker assumes every live protocol node is present in the
+// engine's topology graph at observation time — apply membership churn
+// (place/add, remove) between rounds, before the next Step, so a spatial
+// topology has advanced its cached graph over the change. This is the
+// natural soak-harness pattern; a node added after the last Step of a
+// window would otherwise be live but absent from the snapshot graph, a
+// configuration the brute-force oracle cannot express either.
+package obs
+
+import (
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/ident"
+)
+
+// RoundStats is one observation: the partition statistics and predicate
+// verdicts after the rounds stepped since the previous Observe call. The
+// JSON field names are the sink record format documented in DESIGN.md.
+type RoundStats struct {
+	Round int `json:"round"` // Observe calls so far
+	Tick  int `json:"tick"`  // engine tick at observation time
+
+	Nodes int `json:"nodes"`
+	Edges int `json:"edges"`
+
+	Groups     int     `json:"groups"`
+	Singletons int     `json:"singletons"`
+	MeanSize   float64 `json:"mean_size"`
+
+	Agreement  bool `json:"pi_a"`
+	Safety     bool `json:"pi_s"`
+	Maximality bool `json:"pi_m"`
+	Converged  bool `json:"converged"` // ΠA ∧ ΠS ∧ ΠM
+
+	SafeGroups int     `json:"safe_groups"`
+	SafetyRate float64 `json:"safety_rate"`
+
+	// Transition predicates against the previously observed
+	// configuration (both true on the first observation).
+	Topological          bool `json:"pi_t"`
+	Continuity           bool `json:"pi_c"`
+	ContinuityViolations int  `json:"pi_c_violations"` // nodes whose Ω lost a member
+	MembershipChanges    int  `json:"membership_changes"`
+
+	ExternalEdges int `json:"nee"`
+
+	// Cumulative engine traffic counters.
+	MessagesSent int `json:"msgs"`
+	Deliveries   int `json:"delivs"`
+}
+
+// nodeState is the tracker's per-node cache.
+type nodeState struct {
+	viewVer  uint64         // core.Node.ViewVersion at last extraction
+	view     []ident.NodeID // the node's own view, ascending (replaced, never mutated)
+	viewHash uint64         // commutative hash of view
+	selfIn   bool           // v ∈ view_v
+	nbrs     []ident.NodeID // neighborhood in the restricted graph (unordered)
+	nbrHash  uint64         // commutative hash of nbrs (change filter)
+	grp      *group         // current Ω record
+	good     bool           // local agreement check holds (Ω = view)
+	born     int            // round the state was created (suppresses ΠC on arrival)
+}
+
+// group is one Ω record. Its membership is immutable: any partition
+// change produces a new record, so records are shared by their members,
+// compared by pointer, and the ΠM pair cache can key verdicts on record
+// identity plus the members' neighborhood generation.
+type group struct {
+	rep     ident.NodeID   // minimum member — the unique representative
+	members []ident.NodeID // ascending; len ≥ 1
+	refs    int            // nodes currently assigned to this record
+
+	stretched bool   // induced diameter > dmax in the last evaluated graph
+	evalRound int    // round of that evaluation (dedup stamp)
+	topoGen   uint64 // bumped when a member's neighborhood changes
+}
+
+type pairKey struct{ a, b ident.NodeID } // a < b, group representatives
+
+type pairEntry struct {
+	k      pairKey
+	ga, gb *group // the records on each side of the boundary edge
+}
+
+type pairVerdict struct {
+	ga, gb    *group // records the verdict was computed for
+	ta, tb    uint64 // their topoGen at evaluation time
+	mergeable bool
+}
+
+// GroupTracker incrementally observes one engine run.
+type GroupTracker struct {
+	e       *engine.Engine
+	dmax    int
+	workers int
+
+	round  int
+	synced bool
+
+	nodes    map[ident.NodeID]*nodeState
+	watchers map[ident.NodeID]map[ident.NodeID]struct{} // u → {w : u ∈ view_w}
+	groups   map[ident.NodeID]*group                    // representative → current record
+	byShard  [engine.NumShards][]ident.NodeID           // live nodes, ascending per shard
+
+	// Aggregates over the live partition, maintained on every record
+	// create/destroy and verdict flip — never recomputed by scanning.
+	badNodes     int // nodes failing the local agreement check (ΠA ⇔ 0)
+	groupCount   int
+	singletonCnt int
+	memberSum    int // Σ|members| over records (= live node count at rest)
+	stretchedCnt int // records with induced diameter > dmax (ΠS ⇔ 0)
+
+	// Graph cache key and cached topology-derived stats.
+	prevG   *graph.G
+	prevGen uint64
+	edges   int
+
+	// ΠM / nee state: adjacent-group pairs and the verdict cache
+	// (value maps: no allocation per refreshed verdict).
+	pairCache map[pairKey]pairVerdict
+	pairSpare map[pairKey]pairVerdict
+	nee       int
+	mergeCnt  int
+
+	// Cumulative soak counters (transitions observed so far).
+	Rounds           int
+	ContinuityBreaks int // observations with ΠC false
+	TopologyBreaks   int // observations with ΠT false
+	UnexcusedBreaks  int // ΠC false while ΠT held (contract violations)
+	ViolatingNodes   int // total nodes that lost a group member
+	TotalMembership  int // total Ω changes across nodes
+
+	// Scratch (coordinator-owned).
+	shards   [engine.NumShards]trackerShard
+	ws       []*workerScratch
+	affected []ident.NodeID
+	affEpoch map[ident.NodeID]int
+	added    []ident.NodeID
+	removed  []ident.NodeID
+	reborn   []rebornRec
+	evalList []*group
+	pending  []pairEntry
+	pairList []pairKey
+	boolRes  []bool
+	regroup  []regroupRes
+	vbuf     []ident.NodeID
+}
+
+// trackerShard is one shard's parallel-phase output buffers.
+type trackerShard struct {
+	topoDirty []ident.NodeID
+	changed   []changeRec
+	degSum    int
+	nee       int
+	pairs     []pairEntry
+	extract   []ident.NodeID // extraction candidates (computed ∪ added)
+	vbuf      []ident.NodeID
+	nbuf      []ident.NodeID
+}
+
+type changeRec struct {
+	v       ident.NodeID
+	oldView []ident.NodeID
+}
+
+// rebornRec remembers the previous Ω of a node that was removed and
+// re-added within one observation window: the bracketing-snapshot
+// semantics of ΠC still compare its old group against its new one.
+type rebornRec struct {
+	v   ident.NodeID
+	old []ident.NodeID
+}
+
+type regroupRes struct {
+	good bool
+	rep  ident.NodeID
+}
+
+// NewGroupTracker attaches a tracker to the engine. Dmax comes from the
+// engine's protocol config, the worker width from its Params (a pure
+// throughput knob — results are identical at any width). The first
+// Observe performs a full synchronization, so a tracker may be attached
+// to an engine that has already stepped.
+func NewGroupTracker(e *engine.Engine) *GroupTracker {
+	w := e.P.Workers
+	if w > engine.NumShards {
+		w = engine.NumShards
+	}
+	if w < 1 {
+		w = 1
+	}
+	t := &GroupTracker{
+		e:         e,
+		dmax:      e.P.Cfg.Dmax,
+		workers:   w,
+		nodes:     make(map[ident.NodeID]*nodeState),
+		watchers:  make(map[ident.NodeID]map[ident.NodeID]struct{}),
+		groups:    make(map[ident.NodeID]*group),
+		pairCache: make(map[pairKey]pairVerdict),
+		pairSpare: make(map[pairKey]pairVerdict),
+		affEpoch:  make(map[ident.NodeID]int),
+	}
+	t.ws = make([]*workerScratch, w)
+	for i := range t.ws {
+		t.ws[i] = newWorkerScratch()
+	}
+	e.TrackDirty()
+	return t
+}
+
+// Observe processes everything that happened since the previous call
+// (any number of engine ticks) and returns the statistics of the current
+// configuration. The transition predicates (ΠT, ΠC) compare against the
+// previously observed configuration, exactly like feeding the two
+// bracketing engine.Snapshots to metrics.Topological/ContinuityViolations.
+func (t *GroupTracker) Observe() RoundStats {
+	t.round++
+	first := !t.synced
+
+	// Phase 0: drain the engine's dirty report. On the first observation
+	// the report is discarded and every live node is treated as added.
+	t.added = t.added[:0]
+	t.removed = t.removed[:0]
+	for s := range t.shards {
+		t.shards[s].extract = t.shards[s].extract[:0]
+	}
+	t.e.DrainDirty(func(computed [engine.NumShards][]ident.NodeID, added, removed []ident.NodeID) {
+		if first {
+			return
+		}
+		for s := range computed {
+			t.shards[s].extract = append(t.shards[s].extract, computed[s]...)
+		}
+		t.added = append(t.added, added...)
+		t.removed = append(t.removed, removed...)
+	})
+	if first {
+		t.added = append(t.added, t.e.Order()...)
+		t.synced = true
+	}
+
+	g := t.e.SnapshotGraph()
+	topoChanged := first || g != t.prevG || g.Generation() != t.prevGen
+	changedPartition := false
+	piTBroken := false
+
+	t.affected = t.affected[:0]
+
+	// Phase 1 (sequential): membership. Removals first — a node that was
+	// removed and re-added inside the window is a state reset (drop the
+	// cache, let the addition path recreate it).
+	t.reborn = t.reborn[:0]
+	for _, r := range t.removed {
+		st := t.nodes[r]
+		if st == nil {
+			continue // never tracked, or duplicate report
+		}
+		if _, live := t.e.Nodes[r]; live {
+			t.added = append(t.added, r)
+			t.reborn = append(t.reborn, rebornRec{v: r, old: st.grp.members})
+		} else if len(st.grp.members) > 1 {
+			// A member departing from a non-singleton group breaks ΠT
+			// outright: its distance to the others is infinite in the new
+			// topology. (The record itself dissolves this round — every
+			// surviving member re-groups away from it below.)
+			piTBroken = true
+			st.grp.topoGen++
+		}
+		for _, w := range t.watcherList(r) {
+			t.markAffected(w)
+		}
+		if !st.good {
+			t.badNodes--
+		}
+		t.detach(st.grp)
+		t.dropWatcher(st.view, r)
+		delete(t.nodes, r)
+		delete(t.affEpoch, r)
+		t.shardRemove(r)
+		changedPartition = true
+	}
+	for _, a := range t.added {
+		if _, live := t.e.Nodes[a]; !live {
+			continue // added and removed again within the window
+		}
+		if t.nodes[a] != nil {
+			continue // duplicate report
+		}
+		// A fresh node starts as a good singleton (its initial view is
+		// {a}); the extraction below confirms or corrects that.
+		st := &nodeState{born: t.round, good: true}
+		grp := t.newGroup(a, []ident.NodeID{a})
+		grp.refs = 1
+		st.grp = grp
+		t.nodes[a] = st
+		t.shardInsert(a)
+		t.shards[engine.ShardOf(a)].extract = append(t.shards[engine.ShardOf(a)].extract, a)
+		t.markAffected(a)
+		changedPartition = true
+	}
+
+	// Phase 2 (parallel): neighborhood sweep, only when the restricted
+	// graph identity moved — detects exactly the nodes whose adjacency
+	// changed and re-counts the edges.
+	if topoChanged {
+		t.runShards(func(s, w int) {
+			sh := &t.shards[s]
+			sh.topoDirty = sh.topoDirty[:0]
+			sh.degSum = 0
+			for _, v := range t.byShard[s] {
+				st := t.nodes[v]
+				sh.nbuf = sh.nbuf[:0]
+				h := uint64(0x9e3779b97f4a7c15)
+				g.ForEachNeighbor(v, func(u ident.NodeID) {
+					sh.nbuf = append(sh.nbuf, u)
+					h += mix(uint64(u) + 0x9e3779b97f4a7c15)
+				})
+				sh.degSum += len(sh.nbuf)
+				// The commutative hash filters the common unchanged case;
+				// an equal hash is confirmed by an exact set comparison
+				// (neighborhoods are tiny), so a collision costs a scan,
+				// never a missed change.
+				if h != st.nbrHash || !setEqualSmall(st.nbrs, sh.nbuf) {
+					st.nbrs = append(st.nbrs[:0], sh.nbuf...)
+					st.nbrHash = h
+					sh.topoDirty = append(sh.topoDirty, v)
+				}
+			}
+		})
+		t.edges = 0
+		for s := range t.shards {
+			t.edges += t.shards[s].degSum
+		}
+		t.edges /= 2
+		t.prevG, t.prevGen = g, g.Generation()
+	}
+
+	// Phase 3: ΠT refresh — re-evaluate the *previous* partition's
+	// topology-dirty groups against the new graph (a group whose members
+	// kept their adjacency keeps its cached verdict: its induced subgraph
+	// is unchanged). ΠT is sampled before the partition update, ΠS after
+	// it; both read the same per-record stretched flag.
+	if topoChanged {
+		t.evalList = t.evalList[:0]
+		for s := range t.shards {
+			for _, v := range t.shards[s].topoDirty {
+				grp := t.nodes[v].grp
+				grp.topoGen++
+				if grp.evalRound != t.round && len(grp.members) > 1 {
+					grp.evalRound = t.round
+					t.evalList = append(t.evalList, grp)
+				}
+			}
+		}
+		t.evalStretched(g, t.evalList)
+	}
+	piT := !piTBroken && t.stretchedCnt == 0
+
+	// Phase 4 (parallel): view extraction for the computed/added nodes.
+	// At steady state a node whose view did not change costs one counter
+	// comparison (core.Node.ViewVersion); content is re-extracted and
+	// diffed only on an actual change.
+	t.runShards(func(s, w int) {
+		sh := &t.shards[s]
+		sh.changed = sh.changed[:0]
+		for _, v := range sh.extract {
+			st := t.nodes[v]
+			if st == nil {
+				continue // removed after computing
+			}
+			n := t.e.Nodes[v]
+			if n == nil {
+				continue
+			}
+			ver := n.ViewVersion()
+			if st.viewVer == ver {
+				continue
+			}
+			st.viewVer = ver
+			sh.vbuf = n.AppendView(sh.vbuf[:0])
+			if idsEqual(st.view, sh.vbuf) {
+				continue
+			}
+			nv := make([]ident.NodeID, len(sh.vbuf))
+			copy(nv, sh.vbuf)
+			sh.changed = append(sh.changed, changeRec{v: v, oldView: st.view})
+			st.view = nv
+			st.viewHash = hashIDs(nv)
+			st.selfIn = containsID(nv, v)
+		}
+	})
+
+	// Phase 5 (sequential): watcher index maintenance and the affected
+	// set — a changed view affects the node itself and every node whose
+	// view contains it.
+	for s := range t.shards {
+		for _, ch := range t.shards[s].changed {
+			st := t.nodes[ch.v]
+			diffSorted(ch.oldView, st.view,
+				func(gone ident.NodeID) { t.dropWatcherOne(gone, ch.v) },
+				func(fresh ident.NodeID) {
+					ws := t.watchers[fresh]
+					if ws == nil {
+						ws = make(map[ident.NodeID]struct{})
+						t.watchers[fresh] = ws
+					}
+					ws[ch.v] = struct{}{}
+				})
+			t.markAffected(ch.v)
+			for _, w := range t.watcherList(ch.v) {
+				t.markAffected(w)
+			}
+		}
+	}
+	// The affected set was accumulated from map-ordered watcher
+	// iterations: drop nodes that are gone and sort to restore a
+	// canonical processing order.
+	aff := t.affected[:0]
+	for _, v := range t.affected {
+		if t.nodes[v] != nil {
+			aff = append(aff, v)
+		}
+	}
+	t.affected = aff
+	sort.Slice(t.affected, func(i, j int) bool { return t.affected[i] < t.affected[j] })
+
+	// Phase 6 (parallel): regroup — the local agreement check for every
+	// affected node, a pure read of the freshly extracted views. Hashes
+	// reject mismatches cheaply; equal hashes are confirmed by an exact
+	// slice comparison, so the verdict matches metrics.Snapshot.Omega
+	// bit for bit.
+	if cap(t.regroup) < len(t.affected) {
+		t.regroup = make([]regroupRes, len(t.affected))
+	}
+	t.regroup = t.regroup[:len(t.affected)]
+	t.runSlots(len(t.affected), func(i, w int) {
+		v := t.affected[i]
+		st := t.nodes[v]
+		good := st.selfIn
+		if good {
+			for _, u := range st.view {
+				su := t.nodes[u]
+				if su == nil || su.viewHash != st.viewHash || !idsEqual(su.view, st.view) {
+					good = false
+					break
+				}
+			}
+		}
+		rep := v
+		if good {
+			rep = st.view[0]
+		}
+		t.regroup[i] = regroupRes{good: good, rep: rep}
+	})
+
+	// Phase 7 (sequential, canonical order): partition update — detach
+	// from stale records, attach to (or create) the new ones, account ΠC
+	// and the membership churn.
+	t.evalList = t.evalList[:0]
+	piCViolations := 0
+	membership := 0
+	for i, v := range t.affected {
+		st := t.nodes[v]
+		res := t.regroup[i]
+		old := st.grp
+		same := false
+		if res.good {
+			same = idsEqual(old.members, st.view)
+		} else {
+			same = len(old.members) == 1 && old.members[0] == v
+		}
+		if st.good != res.good {
+			if res.good {
+				t.badNodes--
+			} else {
+				t.badNodes++
+			}
+			st.good = res.good
+		}
+		if same {
+			continue // Ω unchanged (only the agreement accounting moved)
+		}
+		var target *group
+		if res.good {
+			target = t.groups[res.rep]
+			if target == nil || !idsEqual(target.members, st.view) {
+				target = t.newGroup(res.rep, st.view)
+				if len(st.view) > 1 {
+					t.evalList = append(t.evalList, target)
+				}
+			}
+		} else {
+			target = t.groups[v]
+			if target == nil || len(target.members) != 1 || target.members[0] != v {
+				target = t.newGroup(v, []ident.NodeID{v})
+			}
+		}
+		target.refs++
+		if !first && st.born != t.round {
+			if !subsetSorted(old.members, target.members) {
+				piCViolations++
+			}
+			membership++
+		}
+		t.detach(old)
+		st.grp = target
+		changedPartition = true
+	}
+	// Nodes removed and re-added within the window look new-born to the
+	// partition update, but the bracketing-snapshot semantics still
+	// compare their old Ω against the new one.
+	if !first {
+		for _, rb := range t.reborn {
+			st := t.nodes[rb.v]
+			if st == nil || idsEqual(rb.old, st.grp.members) {
+				continue
+			}
+			if !subsetSorted(rb.old, st.grp.members) {
+				piCViolations++
+			}
+			membership++
+		}
+	}
+
+	// Phase 8 (parallel): ΠS for the records created this round. Records
+	// that survived the partition update were either re-evaluated in
+	// phase 3 (topology-dirty) or keep a valid cached verdict.
+	fresh := t.evalList[:0]
+	for _, grp := range t.evalList {
+		if grp.refs > 0 && grp.evalRound != t.round {
+			grp.evalRound = t.round
+			fresh = append(fresh, grp)
+		}
+	}
+	t.evalStretched(g, fresh)
+
+	// Phase 9 (parallel): external edges and ΠM over adjacent group
+	// pairs. Ω sets are disjoint, so two groups can merge only if an
+	// edge joins them — the candidate pairs are exactly the
+	// group-boundary edges, and the counts are reused verbatim when
+	// neither the topology nor the partition moved.
+	if topoChanged || changedPartition {
+		t.scanPairs(g)
+	}
+
+	piC := piCViolations == 0
+	if first {
+		piT, piC = true, true
+	} else {
+		t.ViolatingNodes += piCViolations
+		t.TotalMembership += membership
+		if !piT {
+			t.TopologyBreaks++
+		}
+		if !piC {
+			t.ContinuityBreaks++
+			if piT {
+				t.UnexcusedBreaks++
+			}
+		}
+	}
+	t.Rounds++
+
+	stats := RoundStats{
+		Round:                t.round,
+		Tick:                 t.e.Tick(),
+		Nodes:                t.memberSum,
+		Edges:                t.edges,
+		Groups:               t.groupCount,
+		Singletons:           t.singletonCnt,
+		Agreement:            t.badNodes == 0,
+		Safety:               t.stretchedCnt == 0,
+		Maximality:           t.mergeCnt == 0,
+		SafeGroups:           t.groupCount - t.stretchedCnt,
+		SafetyRate:           1,
+		Topological:          piT,
+		Continuity:           piC,
+		ContinuityViolations: piCViolations,
+		MembershipChanges:    membership,
+		ExternalEdges:        t.nee,
+		MessagesSent:         t.e.MessagesSent,
+		Deliveries:           t.e.Deliveries,
+	}
+	if t.groupCount > 0 {
+		stats.MeanSize = float64(t.memberSum) / float64(t.groupCount)
+		stats.SafetyRate = float64(stats.SafeGroups) / float64(t.groupCount)
+	}
+	stats.Converged = stats.Agreement && stats.Safety && stats.Maximality
+	return stats
+}
+
+// evalStretched evaluates the induced-diameter verdict for every group
+// in list against g (slot-parallel, merged in list order).
+func (t *GroupTracker) evalStretched(g *graph.G, list []*group) {
+	if len(list) == 0 {
+		return
+	}
+	if cap(t.boolRes) < len(list) {
+		t.boolRes = make([]bool, len(list))
+	}
+	res := t.boolRes[:len(list)]
+	t.runSlots(len(list), func(i, w int) {
+		res[i] = t.ws[w].stretched(g, list[i].members, t.dmax)
+	})
+	for i, grp := range list {
+		t.setStretched(grp, res[i])
+	}
+}
+
+// scanPairs rebuilds the external-edge count and the adjacent-group pair
+// list, then refreshes the ΠM verdict cache: a pair is re-evaluated only
+// when one of its records was replaced or had a member's neighborhood
+// change; everything else reuses the cached verdict. Pairs that are no
+// longer adjacent are dropped from the cache (the maps are
+// double-buffered, so the working set never grows past one round's
+// boundary pairs).
+func (t *GroupTracker) scanPairs(g *graph.G) {
+	t.runShards(func(s, w int) {
+		sh := &t.shards[s]
+		sh.nee = 0
+		sh.pairs = sh.pairs[:0]
+		for _, v := range t.byShard[s] {
+			st := t.nodes[v]
+			for _, u := range st.nbrs {
+				if u <= v {
+					continue
+				}
+				su := t.nodes[u]
+				if su == nil || su.grp == st.grp {
+					continue
+				}
+				sh.nee++
+				e := pairEntry{k: pairKey{a: st.grp.rep, b: su.grp.rep}, ga: st.grp, gb: su.grp}
+				if e.k.b < e.k.a {
+					e.k.a, e.k.b = e.k.b, e.k.a
+					e.ga, e.gb = e.gb, e.ga
+				}
+				sh.pairs = append(sh.pairs, e)
+			}
+		}
+	})
+
+	// Merge in shard-major order; the next-cache map doubles as the
+	// cross-shard dedup (a pair's two sides resolve to the same records
+	// regardless of which boundary edge reported it first).
+	next := t.pairSpare // empty: cleared at the end of the last scan
+	t.nee = 0
+	t.pairList = t.pairList[:0]
+	t.pending = t.pending[:0]
+	for s := range t.shards {
+		t.nee += t.shards[s].nee
+		for _, e := range t.shards[s].pairs {
+			if _, dup := next[e.k]; dup {
+				continue
+			}
+			t.pairList = append(t.pairList, e.k)
+			if v, ok := t.pairCache[e.k]; ok && v.ga == e.ga && v.gb == e.gb && v.ta == e.ga.topoGen && v.tb == e.gb.topoGen {
+				next[e.k] = v
+				continue
+			}
+			v := pairVerdict{ga: e.ga, gb: e.gb, ta: e.ga.topoGen, tb: e.gb.topoGen}
+			if !e.ga.stretched && !e.gb.stretched &&
+				len(e.ga.members)+len(e.gb.members) <= t.dmax+1 {
+				// A connected graph on m ≤ Dmax+1 nodes has diameter at
+				// most m−1 ≤ Dmax: both sides are connected (unstretched)
+				// and the boundary edge joins them, so the union is
+				// mergeable without a BFS. In a fragmented configuration
+				// (many adjacent singletons) this resolves almost every
+				// refreshed pair.
+				v.mergeable = true
+				next[e.k] = v
+				continue
+			}
+			next[e.k] = v
+			t.pending = append(t.pending, e)
+		}
+	}
+
+	if cap(t.boolRes) < len(t.pending) {
+		t.boolRes = make([]bool, len(t.pending))
+	}
+	res := t.boolRes[:len(t.pending)]
+	t.runSlots(len(t.pending), func(i, w int) {
+		p := t.pending[i]
+		res[i] = t.ws[w].mergeable(g, p.ga.members, p.gb.members, t.dmax)
+	})
+	for i, p := range t.pending {
+		v := next[p.k]
+		v.mergeable = res[i]
+		next[p.k] = v
+	}
+
+	t.mergeCnt = 0
+	for _, k := range t.pairList {
+		if next[k].mergeable {
+			t.mergeCnt++
+		}
+	}
+	t.pairCache, t.pairSpare = next, t.pairCache
+	clear(t.pairSpare)
+}
+
+// newGroup creates a record, registers it as the representative's
+// canonical record and accounts it.
+func (t *GroupTracker) newGroup(rep ident.NodeID, members []ident.NodeID) *group {
+	grp := &group{rep: rep, members: members}
+	t.groups[rep] = grp
+	t.groupCount++
+	t.memberSum += len(members)
+	if len(members) == 1 {
+		t.singletonCnt++
+	}
+	return grp
+}
+
+// detach drops one reference and destroys the record when it was the
+// last (the canonical map entry is removed only if it still points at
+// this record — a replacement may already have taken the slot).
+func (t *GroupTracker) detach(grp *group) {
+	grp.refs--
+	if grp.refs > 0 {
+		return
+	}
+	t.groupCount--
+	t.memberSum -= len(grp.members)
+	if len(grp.members) == 1 {
+		t.singletonCnt--
+	}
+	t.setStretched(grp, false)
+	if t.groups[grp.rep] == grp {
+		delete(t.groups, grp.rep)
+	}
+}
+
+func (t *GroupTracker) setStretched(grp *group, v bool) {
+	if grp.stretched == v {
+		return
+	}
+	grp.stretched = v
+	if v {
+		t.stretchedCnt++
+	} else {
+		t.stretchedCnt--
+	}
+}
+
+func (t *GroupTracker) markAffected(v ident.NodeID) {
+	if t.affEpoch[v] == t.round {
+		return
+	}
+	t.affEpoch[v] = t.round
+	t.affected = append(t.affected, v)
+}
+
+// watcherList snapshots watchers[u] into a scratch slice (the caller may
+// mutate the map while processing; order does not matter — the affected
+// set is sorted before use).
+func (t *GroupTracker) watcherList(u ident.NodeID) []ident.NodeID {
+	t.vbuf = t.vbuf[:0]
+	for w := range t.watchers[u] {
+		t.vbuf = append(t.vbuf, w)
+	}
+	return t.vbuf
+}
+
+// dropWatcherOne removes w from u's watcher set.
+func (t *GroupTracker) dropWatcherOne(u, w ident.NodeID) {
+	if ws := t.watchers[u]; ws != nil {
+		delete(ws, w)
+		if len(ws) == 0 {
+			delete(t.watchers, u)
+		}
+	}
+}
+
+// dropWatcher removes w from the watcher sets of every member of view.
+func (t *GroupTracker) dropWatcher(view []ident.NodeID, w ident.NodeID) {
+	for _, u := range view {
+		t.dropWatcherOne(u, w)
+	}
+}
+
+func (t *GroupTracker) shardInsert(v ident.NodeID) {
+	s := engine.ShardOf(v)
+	ids := t.byShard[s]
+	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= v })
+	ids = append(ids, 0)
+	copy(ids[i+1:], ids[i:])
+	ids[i] = v
+	t.byShard[s] = ids
+}
+
+func (t *GroupTracker) shardRemove(v ident.NodeID) {
+	s := engine.ShardOf(v)
+	ids := t.byShard[s]
+	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= v })
+	if i < len(ids) && ids[i] == v {
+		t.byShard[s] = append(ids[:i], ids[i+1:]...)
+	}
+}
+
+// Groups materializes the current partition, each group ascending, the
+// list sorted by representative — the same shape as
+// metrics.Snapshot.Groups, for tests and debug output.
+func (t *GroupTracker) Groups() [][]ident.NodeID {
+	out := make([][]ident.NodeID, 0, t.groupCount)
+	for _, grp := range t.groups {
+		out = append(out, grp.members)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// --- small sorted-slice helpers ---
+
+func idsEqual(a, b []ident.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsID(sorted []ident.NodeID, v ident.NodeID) bool {
+	i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= v })
+	return i < len(sorted) && sorted[i] == v
+}
+
+// setEqualSmall reports set equality of two small unordered slices with
+// no duplicates (linear scans — neighborhoods are tiny).
+func setEqualSmall(a, b []ident.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for _, x := range b {
+		found := false
+		for _, y := range a {
+			if y == x {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// subsetSorted reports a ⊆ b for ascending slices.
+func subsetSorted(a, b []ident.NodeID) bool {
+	j := 0
+	for _, x := range a {
+		for j < len(b) && b[j] < x {
+			j++
+		}
+		if j >= len(b) || b[j] != x {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// diffSorted walks two ascending slices and reports members only in a
+// (gone) and only in b (fresh).
+func diffSorted(a, b []ident.NodeID, gone, fresh func(ident.NodeID)) {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i] < b[j]:
+			gone(a[i])
+			i++
+		default:
+			fresh(b[j])
+			j++
+		}
+	}
+	for ; i < len(a); i++ {
+		gone(a[i])
+	}
+	for ; j < len(b); j++ {
+		fresh(b[j])
+	}
+}

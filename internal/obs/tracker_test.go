@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/ident"
+	"repro/internal/metrics"
+	"repro/internal/mobility"
+	"repro/internal/radio"
+	"repro/internal/space"
+)
+
+// checkAgainstOracle compares one tracker observation against the
+// brute-force snapshot path on every statistic the tracker reports.
+func checkAgainstOracle(t *testing.T, tag string, st RoundStats, tr *GroupTracker,
+	prev, cur metrics.Snapshot, hasPrev bool, dmax int) {
+	t.Helper()
+	if got, want := fmt.Sprint(tr.Groups()), fmt.Sprint(cur.Groups()); got != want {
+		t.Fatalf("%s: partition diverged:\n tracker: %s\n oracle:  %s", tag, got, want)
+	}
+	if st.Groups != cur.GroupCount() {
+		t.Fatalf("%s: groups=%d want %d", tag, st.Groups, cur.GroupCount())
+	}
+	if st.Singletons != cur.SingletonCount() {
+		t.Fatalf("%s: singletons=%d want %d", tag, st.Singletons, cur.SingletonCount())
+	}
+	if st.MeanSize != cur.MeanGroupSize() {
+		t.Fatalf("%s: mean_size=%v want %v", tag, st.MeanSize, cur.MeanGroupSize())
+	}
+	if st.Nodes != cur.G.NumNodes() {
+		t.Fatalf("%s: nodes=%d want %d", tag, st.Nodes, cur.G.NumNodes())
+	}
+	if st.Edges != cur.G.NumEdges() {
+		t.Fatalf("%s: edges=%d want %d", tag, st.Edges, cur.G.NumEdges())
+	}
+	if st.Agreement != cur.Agreement() {
+		t.Fatalf("%s: ΠA=%v want %v", tag, st.Agreement, cur.Agreement())
+	}
+	if st.Safety != cur.Safety(dmax) {
+		t.Fatalf("%s: ΠS=%v want %v", tag, st.Safety, cur.Safety(dmax))
+	}
+	if st.SafetyRate != cur.SafetyRate(dmax) {
+		t.Fatalf("%s: safety_rate=%v want %v", tag, st.SafetyRate, cur.SafetyRate(dmax))
+	}
+	if st.Maximality != cur.Maximality(dmax) {
+		t.Fatalf("%s: ΠM=%v want %v", tag, st.Maximality, cur.Maximality(dmax))
+	}
+	if st.Converged != cur.Converged(dmax) {
+		t.Fatalf("%s: converged=%v want %v", tag, st.Converged, cur.Converged(dmax))
+	}
+	if st.ExternalEdges != cur.ExternalEdges() {
+		t.Fatalf("%s: nee=%d want %d", tag, st.ExternalEdges, cur.ExternalEdges())
+	}
+	if hasPrev {
+		if want := metrics.Topological(prev, cur, dmax); st.Topological != want {
+			t.Fatalf("%s: ΠT=%v want %v", tag, st.Topological, want)
+		}
+		viol := metrics.ContinuityViolations(prev, cur)
+		if st.ContinuityViolations != len(viol) {
+			t.Fatalf("%s: ΠC violations=%d want %d (%v)", tag, st.ContinuityViolations, len(viol), viol)
+		}
+		if st.Continuity != (len(viol) == 0) {
+			t.Fatalf("%s: ΠC=%v want %v", tag, st.Continuity, len(viol) == 0)
+		}
+	}
+}
+
+// TestTrackerMatchesOracleStatic pins the tracker to the oracle on a
+// static topology through convergence, including a mid-run link cut and
+// a node removal (the restricted-graph and membership invalidations).
+func TestTrackerMatchesOracleStatic(t *testing.T) {
+	const dmax = 3
+	g := graph.Line(14)
+	e := engine.NewStatic(engine.Params{Cfg: core.Config{Dmax: dmax}, Seed: 1}, g)
+	tr := NewGroupTracker(e)
+
+	var prev metrics.Snapshot
+	hasPrev := false
+	for r := 1; r <= 60; r++ {
+		e.StepRound()
+		switch r {
+		case 25:
+			g.RemoveEdge(7, 8) // partition the line
+		case 40:
+			e.RemoveNode(3) // leave without topology cleanup: 3 stays in g
+			g.RemoveNode(3)
+		}
+		st := tr.Observe()
+		cur := e.Snapshot()
+		checkAgainstOracle(t, fmt.Sprintf("round %d", r), st, tr, prev, cur, hasPrev, dmax)
+		prev, hasPrev = cur, true
+	}
+}
+
+// TestTrackerMatchesOracleChurn is the property test of the issue: a
+// mobile world with obstacle walls, lossy radio, jitter, and random
+// join/leave churn — every round the tracker must agree with the
+// brute-force snapshot oracle on the partition, every predicate and
+// every counter. Walls plus waypoint motion exercise splits, merges and
+// transient disagreement; churn exercises the membership paths
+// (including a remove-and-readd inside one observation window).
+func TestTrackerMatchesOracleChurn(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			const dmax = 3
+			w := space.NewWorld(5)
+			w.Walls = []space.Segment{
+				{A: space.Point{X: 12, Y: -2}, B: space.Point{X: 12, Y: 14}},
+			}
+			ids := make([]ident.NodeID, 24)
+			for i := range ids {
+				ids[i] = ident.NodeID(i + 1)
+			}
+			topo := engine.NewSpatialTopology(w,
+				&mobility.Waypoint{Side: 24, SpeedMin: 0.5, SpeedMax: 2.5, Pause: 0.5},
+				0.25, ids, rand.New(rand.NewSource(seed)))
+			e := engine.New(engine.Params{
+				Cfg:     core.Config{Dmax: dmax},
+				Channel: radio.Lossy{P: 0.15},
+				Jitter:  true,
+				Seed:    seed,
+				Workers: 2,
+			}, topo)
+			tr := NewGroupTracker(e)
+			churn := rand.New(rand.NewSource(seed * 977))
+			nextID := ident.NodeID(100)
+
+			var prev metrics.Snapshot
+			hasPrev := false
+			for r := 1; r <= 70; r++ {
+				// Churn is applied before the round, so the spatial
+				// topology advances its graph over the change before the
+				// next observation (the tracker's documented contract).
+				order := e.Order()
+				switch {
+				case r%9 == 4 && len(order) > 8:
+					v := order[churn.Intn(len(order))]
+					e.RemoveNode(v)
+					w.Remove(v)
+				case r%9 == 7:
+					v := nextID
+					nextID++
+					w.Place(v, space.Point{X: churn.Float64() * 24, Y: churn.Float64() * 24})
+					e.AddNode(v)
+				case r == 31 && len(order) > 4:
+					// Remove and re-add the same node within one
+					// observation window (the reborn path).
+					v := order[churn.Intn(len(order))]
+					p, _ := w.Pos(v)
+					e.RemoveNode(v)
+					w.Remove(v)
+					w.Place(v, p.Add(1, 1))
+					e.AddNode(v)
+				}
+				e.StepRound()
+				st := tr.Observe()
+				cur := e.Snapshot()
+				checkAgainstOracle(t, fmt.Sprintf("seed %d round %d", seed, r), st, tr, prev, cur, hasPrev, dmax)
+				prev, hasPrev = cur, true
+			}
+		})
+	}
+}
+
+// obsFingerprint renders everything the acceptance criterion pins:
+// partition, predicate bits, rates and counters.
+func obsFingerprint(st RoundStats, tr *GroupTracker) string {
+	return fmt.Sprintf("%v|g=%d s=%d m=%.17g|A=%v S=%v M=%v|sr=%.17g sg=%d|T=%v C=%v cv=%d mc=%d|nee=%d|n=%d e=%d",
+		tr.Groups(), st.Groups, st.Singletons, st.MeanSize,
+		st.Agreement, st.Safety, st.Maximality,
+		st.SafetyRate, st.SafeGroups,
+		st.Topological, st.Continuity, st.ContinuityViolations, st.MembershipChanges,
+		st.ExternalEdges, st.Nodes, st.Edges)
+}
+
+// TestTrackerDeterministicAcrossWorkers pins the acceptance criterion:
+// the tracker's full output is bit-identical at Workers=1 and Workers=4
+// on a churning mobile scenario.
+func TestTrackerDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) []string {
+		w := space.NewWorld(4)
+		ids := make([]ident.NodeID, 40)
+		for i := range ids {
+			ids[i] = ident.NodeID(i + 1)
+		}
+		topo := engine.NewSpatialTopology(w,
+			&mobility.Waypoint{Side: 18, SpeedMin: 0.5, SpeedMax: 2, Pause: 1},
+			0.2, ids, rand.New(rand.NewSource(3)))
+		e := engine.New(engine.Params{
+			Cfg: core.Config{Dmax: 3}, Seed: 9, Workers: workers,
+			Jitter: true, RandomizedSends: true, Ts: 2, Tc: 4,
+		}, topo)
+		tr := NewGroupTracker(e)
+		var out []string
+		for r := 1; r <= 40; r++ {
+			switch r {
+			case 12:
+				e.RemoveNode(5)
+				w.Remove(5)
+			case 20:
+				w.Place(77, space.Point{X: 9, Y: 9})
+				e.AddNode(77)
+			}
+			e.StepRound()
+			st := tr.Observe()
+			out = append(out, obsFingerprint(st, tr))
+		}
+		return out
+	}
+	want := run(1)
+	for _, workers := range []int{2, 4} {
+		got := run(workers)
+		for r := range want {
+			if got[r] != want[r] {
+				t.Fatalf("workers=%d: round %d diverges:\n seq: %s\n par: %s", workers, r+1, want[r], got[r])
+			}
+		}
+	}
+}
+
+// TestTrackerSparseObservation checks that Observe may be called every
+// k-th round: the dirty sets accumulate and the transition predicates
+// compare the bracketing configurations, exactly like feeding the two
+// bracketing snapshots to the oracle.
+func TestTrackerSparseObservation(t *testing.T) {
+	const dmax = 3
+	g := graph.Ring(12)
+	e := engine.NewStatic(engine.Params{Cfg: core.Config{Dmax: dmax}, Seed: 2}, g)
+	tr := NewGroupTracker(e)
+
+	var prev metrics.Snapshot
+	hasPrev := false
+	for o := 1; o <= 12; o++ {
+		e.StepRound()
+		e.StepRound()
+		e.StepRound() // three rounds per observation
+		if o == 6 {
+			g.RemoveEdge(1, 2)
+		}
+		st := tr.Observe()
+		cur := e.Snapshot()
+		checkAgainstOracle(t, fmt.Sprintf("obs %d", o), st, tr, prev, cur, hasPrev, dmax)
+		prev, hasPrev = cur, true
+	}
+}
