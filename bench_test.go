@@ -405,6 +405,84 @@ func BenchmarkSpatialStep(b *testing.B) {
 	}
 }
 
+// --- compute-phase + CSR benchmarks (PR 4 trajectory: BENCH_compute.json) ---
+
+// BenchmarkCompute measures the protocol computation itself at steady
+// state on a grid interior node (4 neighbors, Dmax 3): one Receive per
+// neighbor plus one Compute — the unit the compute phase pays per node
+// per Tc. This is the path the allocation-light rewrite (flat-record
+// messages, slice-backed caches) targets.
+func BenchmarkCompute(b *testing.B) {
+	s := benchSteadySim(b, graph.Grid(5, 5), 3)
+	center := NodeID(13) // interior node of the 5×5 grid
+	n := s.Nodes[center]
+	var msgs []core.Message
+	for _, u := range graph.Grid(5, 5).Neighbors(center) {
+		msgs = append(msgs, s.Nodes[u].BuildMessage())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, m := range msgs {
+			n.Receive(m)
+		}
+		n.Compute()
+	}
+}
+
+// BenchmarkCSRBuild measures one bulk CSR construction at n=20000 (the
+// mobile-sweep scale where the old map-of-maps assembly was a visible
+// per-tick cost), with the edge list pre-extracted so only the build is
+// timed, against the retained map-of-maps reference built edge by edge.
+func BenchmarkCSRBuild(b *testing.B) {
+	const n = 20000
+	rng := rand.New(rand.NewSource(3))
+	src := graph.RandomGeometric(n, 2.7*math.Sqrt(n), 2.5, rng)
+	nodes := src.Nodes()
+	var edges []graph.Edge
+	for _, u := range nodes {
+		for _, v := range src.NeighborsView(u) {
+			if u < v {
+				edges = append(edges, graph.Edge{U: u, V: v})
+			}
+		}
+	}
+	b.Run("csr-arena", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if g := graph.FromEdges(nodes, edges); g.NumNodes() != n {
+				b.Fatal("bad graph")
+			}
+		}
+	})
+	b.Run("csr-shared-index", func(b *testing.B) {
+		b.ReportAllocs()
+		prev := graph.FromEdges(nodes, edges)
+		for i := 0; i < b.N; i++ {
+			g := graph.FromEdgesShared(prev, nodes, edges)
+			if g.NumNodes() != n {
+				b.Fatal("bad graph")
+			}
+			prev = g
+		}
+	})
+	b.Run("map-reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ref := graph.NewRef()
+			for _, v := range nodes {
+				ref.AddNode(v)
+			}
+			for _, e := range edges {
+				ref.AddEdge(e.U, e.V)
+			}
+			if ref.NumNodes() != n {
+				b.Fatal("bad graph")
+			}
+		}
+	})
+}
+
 // --- observability benchmarks (PR 3 trajectory: BENCH_obs.json) ---
 
 // obsBenchEngine builds the settled N=5000 mobile RWP scenario the

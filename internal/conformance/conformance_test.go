@@ -1,0 +1,224 @@
+// Package conformance is the differential test suite pinning the hot-path
+// rewrites (the CSR graph and the allocation-light compute phase) to the
+// retained reference implementations. It drives whole engines over
+// churning walled mobile worlds with every node's SelfCheck oracle armed
+// — each Compute cross-validates the flat-record priority learning and
+// each BuildMessage the record assembly against the verbatim map-based
+// originals (core/reference.go) — while the topology every round is
+// compared against a brute-force rebuild on the map-of-maps reference
+// graph (graph.Ref). Round-by-round records (messages, views,
+// Ω-partitions via obs, metric records via the brute-force snapshot
+// path) are asserted bit-identical between the sequential and the
+// 4-worker executions.
+package conformance
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/ident"
+	"repro/internal/mobility"
+	"repro/internal/obs"
+	"repro/internal/space"
+)
+
+// scenario is the shared churning walled mobile world: random-waypoint
+// motion, a wall splitting the arena, nodes joining and leaving.
+type scenario struct {
+	w     *space.World
+	e     *engine.Engine
+	churn *rand.Rand
+	next  ident.NodeID
+}
+
+func newScenario(workers int, selfCheck bool) *scenario {
+	w := space.NewWorld(2.5)
+	w.SetWalls([]space.Segment{
+		{A: space.Point{X: 10, Y: 0}, B: space.Point{X: 10, Y: 14}},
+		{A: space.Point{X: 10, Y: 16}, B: space.Point{X: 10, Y: 30}},
+	})
+	ids := make([]ident.NodeID, 80)
+	for i := range ids {
+		ids[i] = ident.NodeID(i + 1)
+	}
+	m := &mobility.Waypoint{Side: 24, SpeedMin: 0.5, SpeedMax: 2, Pause: 1}
+	topo := engine.NewSpatialTopology(w, m, 0.2, ids, rand.New(rand.NewSource(11)))
+	e := engine.New(engine.Params{Cfg: core.Config{Dmax: 3}, Seed: 11, Workers: workers}, topo)
+	s := &scenario{w: w, e: e, churn: rand.New(rand.NewSource(13)), next: 500}
+	if selfCheck {
+		for _, n := range e.Nodes {
+			n.SelfCheck = true
+		}
+	}
+	return s
+}
+
+// step applies one round of churn and advances one full round.
+func (s *scenario) step(r int, selfCheck bool) {
+	if r%6 == 2 {
+		order := s.e.Order()
+		v := order[s.churn.Intn(len(order))]
+		s.e.RemoveNode(v)
+		s.w.Remove(v)
+	}
+	if r%4 == 1 {
+		v := s.next
+		s.next++
+		s.w.Place(v, space.Point{X: s.churn.Float64() * 24, Y: s.churn.Float64() * 24})
+		s.e.AddNode(v)
+		if selfCheck {
+			s.e.Nodes[v].SelfCheck = true
+		}
+	}
+	s.e.StepRound()
+}
+
+// roundRec is everything one observed round must agree on across
+// executions: per-node protocol state and broadcasts (hashed), the
+// Ω-partition statistics, and the traffic counters.
+type roundRec struct {
+	StateHash uint64
+	MsgHash   uint64
+	Stats     obs.RoundStats
+	Msgs      int
+	Bytes     int
+	Delivs    int
+}
+
+func hashRound(e *engine.Engine) (state, msgs uint64) {
+	hs, hm := fnv.New64a(), fnv.New64a()
+	for _, v := range e.Order() {
+		n := e.Nodes[v]
+		fmt.Fprintf(hs, "%d|%s|%v|%s|%s|%d\n", v, n.List(), n.View(), n.Priority(), n.GroupPriority(), n.QuarantineOf(v))
+		m := n.BuildMessage()
+		p, g, q := m.PrioMaps()
+		fmt.Fprintf(hm, "%d|%s|%s|%d\n", m.From, m.List, m.GroupPrio, m.EncodedSize())
+		for _, id := range sortedKeys(p) {
+			fmt.Fprintf(hm, "p%d=%s g%s q%d\n", id, p[id], g[id], q[id])
+		}
+	}
+	return hs.Sum64(), hm.Sum64()
+}
+
+func sortedKeys[V any](m map[ident.NodeID]V) []ident.NodeID {
+	out := make([]ident.NodeID, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// run executes the scenario for the given number of rounds and returns
+// the per-round records.
+func run(t *testing.T, workers, rounds int, selfCheck bool) []roundRec {
+	t.Helper()
+	s := newScenario(workers, selfCheck)
+	tr := obs.NewGroupTracker(s.e)
+	recs := make([]roundRec, 0, rounds)
+	for r := 0; r < rounds; r++ {
+		s.step(r, selfCheck)
+		st := tr.Observe()
+		sh, mh := hashRound(s.e)
+		recs = append(recs, roundRec{
+			StateHash: sh, MsgHash: mh, Stats: st,
+			Msgs: s.e.MessagesSent, Bytes: s.e.BytesSent, Delivs: s.e.Deliveries,
+		})
+	}
+	return recs
+}
+
+// TestNewPathMatchesReferenceOracle runs the churning scenario with every
+// node's SelfCheck armed: any divergence between the allocation-light
+// compute/broadcast paths and the retained map-based reference
+// implementations panics inside the run. The records double as the
+// sequential baseline for the parallel test below.
+func TestNewPathMatchesReferenceOracle(t *testing.T) {
+	recs := run(t, 1, 60, true)
+	if len(recs) != 60 {
+		t.Fatalf("got %d records", len(recs))
+	}
+}
+
+// TestSeqAndParallelBitIdentical asserts the full per-round record stream
+// — protocol state, broadcast contents, Ω-partition statistics, traffic
+// counters — is bit-identical between the sequential execution and the
+// 4-worker execution, with the reference oracle armed on both.
+func TestSeqAndParallelBitIdentical(t *testing.T) {
+	seq := run(t, 1, 60, true)
+	par := run(t, 4, 60, true)
+	for r := range seq {
+		if !reflect.DeepEqual(seq[r], par[r]) {
+			t.Fatalf("round %d diverged:\nseq: %+v\npar: %+v", r+1, seq[r], par[r])
+		}
+	}
+}
+
+// TestSelfCheckIsPureObserver asserts the oracle cross-checks do not
+// perturb the execution: records with and without SelfCheck are equal.
+func TestSelfCheckIsPureObserver(t *testing.T) {
+	plain := run(t, 4, 40, false)
+	checked := run(t, 4, 40, true)
+	if !reflect.DeepEqual(plain, checked) {
+		t.Fatal("SelfCheck changed the execution")
+	}
+}
+
+// TestGraphMatchesBruteForceReference rebuilds, every round, the
+// symmetric communication graph by brute force on the retained
+// map-of-maps reference implementation (all-pairs CanReach in both
+// directions, the seed's definition) and asserts the engine's CSR
+// snapshot graph — nodes, edges, and every neighbor slice — matches it.
+func TestGraphMatchesBruteForceReference(t *testing.T) {
+	s := newScenario(1, false)
+	for r := 0; r < 40; r++ {
+		s.step(r, false)
+		g := s.e.SnapshotGraph()
+		ref := graph.NewRef()
+		ids := s.w.Nodes()
+		for _, v := range ids {
+			if _, live := s.e.Nodes[v]; live {
+				ref.AddNode(v)
+			}
+		}
+		for i, u := range ids {
+			if _, live := s.e.Nodes[u]; !live {
+				continue
+			}
+			for _, v := range ids[i+1:] {
+				if _, live := s.e.Nodes[v]; !live {
+					continue
+				}
+				if s.w.CanReach(u, v) && s.w.CanReach(v, u) {
+					ref.AddEdge(u, v)
+				}
+			}
+		}
+		if !ref.SameAs(g) {
+			t.Fatalf("round %d: CSR graph diverged from brute-force reference: %s vs n=%d m=%d",
+				r+1, g, ref.NumNodes(), ref.NumEdges())
+		}
+		for _, v := range ref.Nodes() {
+			want := ref.Neighbors(v)
+			got := g.NeighborsView(v)
+			if len(want) != len(got) {
+				t.Fatalf("round %d: neighbor count of %v: %v vs %v", r+1, v, got, want)
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("round %d: neighbors of %v diverged: %v vs %v", r+1, v, got, want)
+				}
+			}
+		}
+	}
+}

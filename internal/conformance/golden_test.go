@@ -1,0 +1,105 @@
+package conformance
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/radio"
+)
+
+var update = flag.Bool("update", false, "regenerate golden trace fixtures")
+
+// goldenTrace is the checked-in fixture: one state hash and one message
+// hash per round of a fixed small scenario. Any future hot-path change
+// that perturbs protocol behavior — even a single bit in one node's list,
+// view, priority or broadcast in one round — fails this test loudly.
+// Regenerate deliberately with:
+//
+//	go test ./internal/conformance -run Golden -update
+type goldenTrace struct {
+	Scenario string   `json:"scenario"`
+	Rounds   []string `json:"rounds"` // "statehash:msghash" per round, hex
+}
+
+// goldenScenarios are small, fast, and cover the protocol's moving
+// parts: a static merge-heavy topology, and a jittered lossy line.
+func goldenScenarios() map[string]*engine.Engine {
+	return map[string]*engine.Engine{
+		"clusters-static": engine.NewStatic(
+			engine.Params{Cfg: core.Config{Dmax: 4}, Seed: 5},
+			graph.Clusters(3, 4, 1, true)),
+		"line-lossy-jitter": engine.NewStatic(
+			engine.Params{Cfg: core.Config{Dmax: 3}, Seed: 8, Jitter: true, Channel: radio.Lossy{P: 0.15}},
+			graph.Line(12)),
+	}
+}
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "golden_"+name+".json")
+}
+
+func traceOf(e *engine.Engine, rounds int) []string {
+	out := make([]string, 0, rounds)
+	for r := 0; r < rounds; r++ {
+		e.StepRound()
+		sh, mh := hashRound(e)
+		out = append(out, hex16(sh)+":"+hex16(mh))
+	}
+	return out
+}
+
+func hex16(x uint64) string {
+	const digits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = digits[x&0xf]
+		x >>= 4
+	}
+	return string(b[:])
+}
+
+func TestGoldenTraces(t *testing.T) {
+	for name, e := range goldenScenarios() {
+		got := goldenTrace{Scenario: name, Rounds: traceOf(e, 40)}
+		path := goldenPath(name)
+		if *update {
+			buf, err := json.MarshalIndent(got, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("wrote %s", path)
+			continue
+		}
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%v (regenerate with -update)", err)
+		}
+		var want goldenTrace
+		if err := json.Unmarshal(buf, &want); err != nil {
+			t.Fatal(err)
+		}
+		if len(want.Rounds) != len(got.Rounds) {
+			t.Fatalf("%s: %d rounds vs golden %d", name, len(got.Rounds), len(want.Rounds))
+		}
+		for r := range want.Rounds {
+			if got.Rounds[r] != want.Rounds[r] {
+				t.Fatalf("%s: behavior diverged from golden trace at round %d:\n got %s\nwant %s\n"+
+					"(a deliberate protocol change must regenerate via `go test ./internal/conformance -run Golden -update`)",
+					name, r+1, got.Rounds[r], want.Rounds[r])
+			}
+		}
+		if !reflect.DeepEqual(got.Scenario, want.Scenario) {
+			t.Fatalf("%s: scenario name mismatch", name)
+		}
+	}
+}

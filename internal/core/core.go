@@ -16,11 +16,22 @@
 //
 // The output used by applications is View: the composition of the node's
 // group.
+//
+// The compute phase is allocation-light: the round's checked senders live
+// in slice-backed scratch reused across computes (never maps rebuilt per
+// round), priority learning reads the flat Message.Recs records instead
+// of per-message maps, and the view/quarantine maps are double-buffered.
+// What may be retained across rounds is exactly the state whose content
+// the protocol defines (list, view, quarantine, priority caches) plus
+// scratch that is fully overwritten before use; everything reachable from
+// an emitted Message is immutable. The pre-rewrite map-based paths are
+// retained in reference.go as a differential oracle (see SelfCheck).
 package core
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/antlist"
 	"repro/internal/ident"
@@ -90,36 +101,77 @@ func (c Config) boundaryHold() uint64 {
 	}
 }
 
-// Message is one GRP broadcast: the sender's ordered list of ancestor
-// sets with, for every node appearing in it, that node's priority and the
-// priority of its group as known by the sender (the paper sends "listv
-// with priorities"; per-entry group priorities are how "group priorities
-// are compared" across several hops — see DESIGN.md §3).
-type Message struct {
-	From       ident.NodeID
-	List       antlist.List
-	Prios      map[ident.NodeID]priority.P
-	GroupPrios map[ident.NodeID]priority.P
-	GroupPrio  priority.P
-	// Quars carries the remaining quarantine of the sender's not-yet
-	// admitted entries. Receivers inherit the smallest value they hear,
-	// so a newcomer's countdown finishes at (nearly) the same round on
-	// every member — the paper's "the new node progresses in the group"
-	// — and the whole group admits it into views simultaneously. Without
-	// inheritance each member would start its own Dmax countdown one hop
-	// later than the previous one, views would grow at staggered rounds,
-	// and every merge would transiently break agreement (a raw ΠC
-	// violation the best-effort contract does not allow).
-	Quars map[ident.NodeID]int
+// heardRec is one quarantine value heard this round (slice-backed scratch
+// replacing the per-round `heard` map).
+type heardRec struct {
+	id ident.NodeID
+	q  int32
 }
 
-// EncodedSize returns the wire size of the message in bytes (frame header
-// + list + two priority records per listed node + group priority), used by
-// the overhead experiment.
-func (m Message) EncodedSize() int {
-	// from(4) + groupPrio(12) + list + 12 bytes per priority record +
-	// 5 bytes per quarantine record.
-	return 4 + 12 + m.List.EncodedSize() + 12*len(m.Prios) + 12*len(m.GroupPrios) + 5*len(m.Quars)
+// quarEntry is one tracked quarantine (the slice-backed replacement for
+// the quarantine map; ascending by id).
+type quarEntry struct {
+	id ident.NodeID
+	q  int32
+}
+
+// prec is one cached priority (the slice-backed replacement for the
+// node/group priority cache maps; ascending by id).
+type prec struct {
+	id ident.NodeID
+	p  priority.P
+}
+
+// precGet looks id up in an ascending prec slice.
+func precGet(s []prec, id ident.NodeID) (priority.P, bool) {
+	for i := range s {
+		switch {
+		case s[i].id == id:
+			return s[i].p, true
+		case s[i].id > id:
+			return priority.P{}, false
+		}
+	}
+	return priority.P{}, false
+}
+
+// rejEntry is one boundary-memory record (sender → expiry compute).
+type rejEntry struct {
+	id  ident.NodeID
+	exp uint64
+}
+
+// streakEntry is one incompatibility-observation counter. A zero count is
+// equivalent to an absent entry.
+type streakEntry struct {
+	id ident.NodeID
+	c  int32
+}
+
+// quarGet looks id up in an ascending quarEntry slice.
+func quarGet(quar []quarEntry, id ident.NodeID) (int, bool) {
+	for i := range quar {
+		switch {
+		case quar[i].id == id:
+			return int(quar[i].q), true
+		case quar[i].id > id:
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// containsID reports membership in an ascending ID slice.
+func containsID(ids []ident.NodeID, id ident.NodeID) bool {
+	for _, v := range ids {
+		switch {
+		case v == id:
+			return true
+		case v > id:
+			return false
+		}
+	}
+	return false
 }
 
 // Node is the GRP state of one network node.
@@ -129,33 +181,92 @@ type Node struct {
 
 	// Tracer, when non-nil, receives a line per protocol decision
 	// (list checks, rejections, contests). Intended for debugging and
-	// the simulator's verbose mode; nil costs nothing.
+	// the simulator's verbose mode; nil costs nothing (call sites are
+	// guarded, so the variadic arguments are never even boxed).
 	Tracer func(format string, args ...interface{})
 
-	list     antlist.List
-	view     map[ident.NodeID]bool
-	quar     map[ident.NodeID]int
-	prios    map[ident.NodeID]priority.P
-	gprs     map[ident.NodeID]priority.P
+	// SelfCheck, when true, cross-validates every Compute and
+	// BuildMessage against the retained pre-rewrite reference
+	// implementations (reference.go) and panics on any divergence. The
+	// conformance suite runs whole engines with it on; production paths
+	// pay a single branch.
+	SelfCheck bool
+
+	list antlist.List
+	// view and quar are group-sized and consulted constantly, so they are
+	// sorted slices, not maps: a linear probe with early exit beats a map
+	// at these sizes, and the per-compute rebuild is an append-and-sort
+	// into a recycled buffer instead of a map churn.
+	view     []ident.NodeID // ascending
+	quar     []quarEntry    // ascending by id
+	prios    []prec         // node-priority cache, ascending by id
+	gprs     []prec         // group-priority cache, ascending by id
 	self     priority.P
 	group    priority.P
-	msgSet   map[ident.NodeID]Message
-	rejected map[ident.NodeID]uint64 // boundary memory: sender → expiry compute
-	streak   map[ident.NodeID]int    // consecutive incompatibility observations
-	synced   bool                    // one-time clock sync at first contact done
+	msgSet   []Message     // one buffered message per sender (last wins)
+	rejected []rejEntry    // boundary memory
+	streak   []streakEntry // consecutive incompatibility observations
+	synced   bool          // one-time clock sync at first contact done
 
 	computes uint64
 	version  uint64 // bumped on every observable-state change (Compute, LoadState)
 	viewVer  uint64 // bumped only when the view *content* changes
 
 	// Per-node scratch reused across computes (never escapes): the view
-	// and quarantine double-buffers swap with the live maps each round,
-	// and workBuf holds the round's checked senders. Rebuilding these
-	// maps every compute was the protocol's top allocation site at scale.
-	viewSpare map[ident.NodeID]bool
-	quarSpare map[ident.NodeID]int
-	workBuf   map[ident.NodeID]*incoming
+	// and quarantine double-buffers swap with the live slices each round;
+	// incsBuf holds the round's checked senders in preference order (the
+	// former workBuf map, now slice-backed: the map rebuild and the
+	// per-sender box were the protocol's top allocation sites at scale);
+	// heardBuf collects the round's inherited quarantines.
+	viewSpare  []ident.NodeID
+	quarSpare  []quarEntry
+	priosSpare []prec
+	gprsSpare  []prec
+	incsBuf    []incoming
+	heardBuf   []heardRec
 }
+
+// prioOf looks u up in the node-priority cache.
+func (n *Node) prioOf(u ident.NodeID) (priority.P, bool) { return precGet(n.prios, u) }
+
+// gprOf looks u up in the group-priority cache.
+func (n *Node) gprOf(u ident.NodeID) (priority.P, bool) { return precGet(n.gprs, u) }
+
+// rejectedUntil returns the boundary-memory expiry for u (0 = none).
+func (n *Node) rejectedUntil(u ident.NodeID) uint64 {
+	for i := range n.rejected {
+		if n.rejected[i].id == u {
+			return n.rejected[i].exp
+		}
+	}
+	return 0
+}
+
+// streakOf returns u's incompatibility streak.
+func (n *Node) streakOf(u ident.NodeID) int {
+	for i := range n.streak {
+		if n.streak[i].id == u {
+			return int(n.streak[i].c)
+		}
+	}
+	return 0
+}
+
+// setStreak records u's streak (0 clears; an absent entry counts as 0).
+func (n *Node) setStreak(u ident.NodeID, c int) {
+	for i := range n.streak {
+		if n.streak[i].id == u {
+			n.streak[i].c = int32(c)
+			return
+		}
+	}
+	if c != 0 {
+		n.streak = append(n.streak, streakEntry{id: u, c: int32(c)})
+	}
+}
+
+// inView reports whether u is in the node's current view.
+func (n *Node) inView(u ident.NodeID) bool { return containsID(n.view, u) }
 
 // NewNode returns a freshly booted node: alone in its list and view, clock
 // zero.
@@ -164,21 +275,14 @@ func NewNode(id ident.NodeID, cfg Config) *Node {
 		panic(fmt.Sprintf("core: Dmax must be ≥ 1, got %d", cfg.Dmax))
 	}
 	n := &Node{
-		cfg:      cfg,
-		id:       id,
-		list:     antlist.Singleton(ident.Plain(id)),
-		view:     map[ident.NodeID]bool{id: true},
-		quar:     map[ident.NodeID]int{id: 0},
-		prios:    map[ident.NodeID]priority.P{id: priority.New(id)},
-		gprs:     map[ident.NodeID]priority.P{id: priority.New(id)},
-		self:     priority.New(id),
-		msgSet:   make(map[ident.NodeID]Message),
-		rejected: make(map[ident.NodeID]uint64),
-		streak:   make(map[ident.NodeID]int),
-
-		viewSpare: make(map[ident.NodeID]bool),
-		quarSpare: make(map[ident.NodeID]int),
-		workBuf:   make(map[ident.NodeID]*incoming),
+		cfg:   cfg,
+		id:    id,
+		list:  antlist.Singleton(ident.Plain(id)),
+		view:  []ident.NodeID{id},
+		quar:  []quarEntry{{id: id}},
+		prios: []prec{{id: id, p: priority.New(id)}},
+		gprs:  []prec{{id: id, p: priority.New(id)}},
+		self:  priority.New(id),
 
 		viewVer: 1,
 	}
@@ -198,25 +302,20 @@ func (n *Node) List() antlist.List { return n.list.Clone() }
 // View returns the group composition as seen by this node, ascending.
 // This is the protocol's output, the view_v the applications use.
 func (n *Node) View() []ident.NodeID {
-	out := make([]ident.NodeID, 0, len(n.view))
-	for v := range n.view {
-		out = append(out, v)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return slices.Clone(n.view)
 }
 
 // ViewSet returns the view as a set (a copy).
 func (n *Node) ViewSet() map[ident.NodeID]bool {
 	out := make(map[ident.NodeID]bool, len(n.view))
-	for v := range n.view {
+	for _, v := range n.view {
 		out[v] = true
 	}
 	return out
 }
 
 // InView reports whether u is currently in the node's view.
-func (n *Node) InView(u ident.NodeID) bool { return n.view[u] }
+func (n *Node) InView(u ident.NodeID) bool { return n.inView(u) }
 
 // Priority returns the node's own priority.
 func (n *Node) Priority() priority.P { return n.self }
@@ -245,19 +344,13 @@ func (n *Node) ViewVersion() uint64 { return n.viewVer }
 // AppendView appends the view members in ascending order to buf and
 // returns the extended slice — the allocation-free variant of View.
 func (n *Node) AppendView(buf []ident.NodeID) []ident.NodeID {
-	start := len(buf)
-	for v := range n.view {
-		buf = append(buf, v)
-	}
-	tail := buf[start:]
-	sort.Slice(tail, func(i, j int) bool { return tail[i] < tail[j] })
-	return buf
+	return append(buf, n.view...)
 }
 
 // QuarantineOf returns the remaining quarantine of u, or -1 when u is not
 // tracked (absent or marked in the list).
 func (n *Node) QuarantineOf(u ident.NodeID) int {
-	if q, ok := n.quar[u]; ok {
+	if q, ok := quarGet(n.quar, u); ok {
 		return q
 	}
 	return -1
@@ -270,58 +363,62 @@ func (n *Node) QuarantineOf(u ident.NodeID) int {
 // from the list.
 func (n *Node) LoadState(list antlist.List, view map[ident.NodeID]bool, quar map[ident.NodeID]int, self priority.P) {
 	n.list = list.Clone()
+	n.view = n.view[:0]
 	if view != nil {
-		// Copy: the node recycles its view/quarantine maps as scratch
-		// buffers across computes, so it must own them outright.
-		n.view = make(map[ident.NodeID]bool, len(view))
-		for k, v := range view {
-			n.view[k] = v
+		for k, in := range view {
+			if in {
+				n.view = append(n.view, k)
+			}
 		}
+		slices.Sort(n.view)
 	} else {
-		n.view = map[ident.NodeID]bool{n.id: true}
+		n.view = append(n.view, n.id)
 	}
+	n.quar = n.quar[:0]
 	if quar != nil {
-		n.quar = make(map[ident.NodeID]int, len(quar))
 		for k, v := range quar {
-			n.quar[k] = v
+			n.quar = append(n.quar, quarEntry{id: k, q: int32(v)})
 		}
 	} else {
-		n.quar = map[ident.NodeID]int{n.id: 0}
+		n.quar = append(n.quar, quarEntry{id: n.id})
 		for _, u := range list.IDs() {
-			n.quar[u] = 0
+			if u != n.id {
+				n.quar = append(n.quar, quarEntry{id: u})
+			}
 		}
 	}
+	slices.SortFunc(n.quar, func(a, b quarEntry) int { return cmp.Compare(a.id, b.id) })
+	n.quar = slices.CompactFunc(n.quar, func(a, b quarEntry) bool { return a.id == b.id })
 	n.self = self
-	n.prios = map[ident.NodeID]priority.P{n.id: self}
-	n.gprs = map[ident.NodeID]priority.P{n.id: self}
+	n.prios = append(n.prios[:0], prec{id: n.id, p: self})
+	n.gprs = append(n.gprs[:0], prec{id: n.id, p: self})
 	n.group = self
-	n.rejected = make(map[ident.NodeID]uint64)
-	n.streak = make(map[ident.NodeID]int)
+	n.rejected = n.rejected[:0]
+	n.streak = n.streak[:0]
 	n.synced = true
 	n.version++
 	n.viewVer++
 }
 
-// viewEqual reports whether two view sets have identical membership.
-func viewEqual(a, b map[ident.NodeID]bool) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for v := range a {
-		if !b[v] {
-			return false
-		}
-	}
-	return true
-}
+// viewEqual reports whether two ascending view slices have identical
+// membership.
+func viewEqual(a, b []ident.NodeID) bool { return slices.Equal(a, b) }
 
 // Receive stores a neighbor's message. Only the last message per sender is
-// kept (one-message channel); self-messages are ignored.
+// kept (one-message channel); self-messages are ignored. The buffer is a
+// small slice scanned linearly — sender counts are node degrees, where
+// the scan beats the map the seed used.
 func (n *Node) Receive(m Message) {
 	if m.From == n.id || m.From == ident.None {
 		return
 	}
-	n.msgSet[m.From] = m
+	for i := range n.msgSet {
+		if n.msgSet[i].From == m.From {
+			n.msgSet[i] = m
+			return
+		}
+	}
+	n.msgSet = append(n.msgSet, m)
 }
 
 // PendingMessages returns how many distinct senders are buffered (used by
@@ -331,50 +428,64 @@ func (n *Node) PendingMessages() int { return len(n.msgSet) }
 // BuildMessage assembles the broadcast for the Ts timer: the current list
 // with the priorities of every node in it and the group priority. The
 // result is immutable and a pure function of the node's state (see
-// Version), so drivers may cache and share it between computes.
+// Version), so drivers may cache and share it between computes. The list
+// is shared, not cloned: the node never mutates a list in place (every
+// Compute rebuilds it), so the broadcast stays valid for as long as any
+// receiver holds it.
 func (n *Node) BuildMessage() Message {
-	count := n.list.NodeCount() + 1
-	prios := make(map[ident.NodeID]priority.P, count)
-	gprios := make(map[ident.NodeID]priority.P, count)
-	for _, s := range n.list {
+	recs := make([]PrioRec, 0, n.list.NodeCount()+1)
+	selfSeen := false
+	for i, s := range n.list {
 		for _, e := range s {
 			u := e.ID
-			if p, ok := n.prios[u]; ok {
-				prios[u] = p
-			} else {
-				prios[u] = priority.Infinite
+			r := PrioRec{
+				ID: u, Mark: e.Mark, Pos: int16(i), Quar: -1,
+				HasPrio: true, HasGroupPrio: true,
 			}
-			switch {
-			case n.view[u]:
-				gprios[u] = n.group
-			default:
-				if g, ok := n.gprs[u]; ok {
-					gprios[u] = g
+			if u == n.id {
+				selfSeen = true
+				r.Prio, r.GroupPrio = n.self, n.group
+			} else {
+				if p, ok := n.prioOf(u); ok {
+					r.Prio = p
 				} else {
-					gprios[u] = prios[u]
+					r.Prio = priority.Infinite
+				}
+				switch {
+				case n.inView(u):
+					r.GroupPrio = n.group
+				default:
+					if g, ok := n.gprOf(u); ok {
+						r.GroupPrio = g
+					} else {
+						r.GroupPrio = r.Prio
+					}
 				}
 			}
-		}
-	}
-	prios[n.id] = n.self
-	gprios[n.id] = n.group
-	var quars map[ident.NodeID]int
-	for u, q := range n.quar {
-		if q > 0 {
-			if quars == nil {
-				quars = make(map[ident.NodeID]int)
+			if q, ok := quarGet(n.quar, u); ok && q > 0 {
+				r.Quar = int16(q)
 			}
-			quars[u] = q
+			recs = append(recs, r)
 		}
 	}
-	return Message{
-		From:       n.id,
-		List:       n.list.Clone(),
-		Prios:      prios,
-		GroupPrios: gprios,
-		GroupPrio:  n.group,
-		Quars:      quars,
+	if !selfSeen {
+		recs = append(recs, PrioRec{
+			ID: n.id, Pos: -1, Quar: -1,
+			HasPrio: true, HasGroupPrio: true,
+			Prio: n.self, GroupPrio: n.group,
+		})
 	}
+	sortRecs(recs)
+	m := Message{
+		From:      n.id,
+		List:      n.list,
+		Recs:      recs,
+		GroupPrio: n.group,
+	}
+	if n.SelfCheck {
+		n.checkRefMessage(m)
+	}
+	return m
 }
 
 // incoming is one checked entry of the message set during a computation.
@@ -399,28 +510,40 @@ func (n *Node) Compute() {
 	// instead of an arbitrary choice that can flip between rounds and
 	// keep the network in metastable partitions. The fold itself (⊕) is
 	// order-independent.
-	senders := make([]ident.NodeID, 0, len(n.msgSet))
-	for u := range n.msgSet {
-		senders = append(senders, u)
+	incs := n.incsBuf[:0]
+	for i := range n.msgSet {
+		incs = append(incs, incoming{msg: n.msgSet[i]})
 	}
-	sort.Slice(senders, func(i, j int) bool {
-		a, b := senders[i], senders[j]
-		av, bv := n.view[a], n.view[b]
+	slices.SortFunc(incs, func(x, y incoming) int {
+		a, b := x.msg.From, y.msg.From
+		av, bv := n.inView(a), n.inView(b)
 		if av != bv {
-			return av
+			if av {
+				return -1
+			}
+			return 1
 		}
-		ag, bg := n.msgSet[a].GroupPrio, n.msgSet[b].GroupPrio
+		ag, bg := x.msg.GroupPrio, y.msg.GroupPrio
 		if ag != bg {
-			return ag.Less(bg)
+			if ag.Less(bg) {
+				return -1
+			}
+			return 1
 		}
-		return a < b
+		if a < b {
+			return -1
+		}
+		return 1
 	})
-
-	// Expire boundary memory.
-	for u, exp := range n.rejected {
-		if n.computes > exp {
-			delete(n.rejected, u)
+	// Expire boundary memory (in-place filter; empty at steady state).
+	if len(n.rejected) > 0 {
+		kept := n.rejected[:0]
+		for _, r := range n.rejected {
+			if n.computes <= r.exp {
+				kept = append(kept, r)
+			}
 		}
+		n.rejected = kept
 	}
 
 	// Lines 1–9 fused with 10–13: check the received lists in
@@ -430,38 +553,43 @@ func (n *Node) Compute() {
 	// incompatible senders — this is what lets a lone node bridging two
 	// far-apart groups side with one of them instead of absorbing both
 	// and being punished by each in turn.
-	work := n.workBuf
-	clear(work)
 	partial := antlist.Singleton(ident.Plain(n.id))
-	for _, u := range senders {
-		msg := n.msgSet[u]
+	for i := range incs {
+		msg := &incs[i].msg
+		u := msg.From
 		lu := n.cleanReceived(msg.List)
 		switch {
-		case n.rejected[u] != 0:
+		case n.rejectedUntil(u) != 0:
 			// Boundary memory: the sender was recently rejected as
 			// incompatible; hold the boundary while views consolidate.
 			lu = antlist.Singleton(ident.Double(u))
-			n.trace("hold %v until c%d", u, n.rejected[u])
+			if n.Tracer != nil {
+				n.trace("hold %v until c%d", u, n.rejectedUntil(u))
+			}
 		case !n.goodList(u, lu):
 			// Line 4: the list is ignored but the sender is kept
 			// (single mark: asymmetric / unconfirmed link). Not evidence
 			// of incompatibility: the streak is left alone.
 			lu = antlist.Singleton(ident.Single(u))
-			n.trace("notgood %v: %v", u, msg.List)
-		case !n.view[u]:
+			if n.Tracer != nil {
+				n.trace("notgood %v: %v", u, msg.List)
+			}
+		case !n.inView(u):
 			qsafe, ok := n.safePrefix(u, partial, lu)
 			if !ok || qsafe < foreignDepth(n, lu) {
 				// Line 7: u is denoted as an incompatible neighbor
 				// (after the debounce; see escalate).
-				n.trace("incompat %v: cleaned=%v partial=%v list=%v", u, lu, partial, n.list)
+				if n.Tracer != nil {
+					n.trace("incompat %v: cleaned=%v partial=%v list=%v", u, lu, partial, n.list)
+				}
 				lu = n.escalate(u)
 			} else {
-				n.streak[u] = 0
+				n.setStreak(u, 0)
 			}
 		default:
-			n.streak[u] = 0
+			n.setStreak(u, 0)
 		}
-		work[u] = &incoming{list: lu, msg: msg}
+		incs[i].list = lu
 		partial = partial.Ant(lu)
 	}
 
@@ -474,74 +602,82 @@ func (n *Node) Compute() {
 			if w.Mark.Marked() {
 				continue // marks never travel that far; defensive
 			}
-			if n.farNodeHasPriority(w.ID, work) {
-				for _, u := range senders {
-					inc := work[u]
-					if pos, _ := inc.list.Position(w.ID); pos == dmax {
+			if n.farNodeHasPriority(w.ID, incs) {
+				for i := range incs {
+					if pos, _ := incs[i].list.Position(w.ID); pos == dmax {
 						// Line 19: the neighbor that provided w is
 						// ignored (after the debounce; see escalate).
-						work[u] = &incoming{list: n.escalate(u), msg: inc.msg}
-						n.trace("contest lost to %v: drop provider %v (streak %d)", w.ID, u, n.streak[u])
+						u := incs[i].msg.From
+						incs[i].list = n.escalate(u)
+						if n.Tracer != nil {
+							n.trace("contest lost to %v: drop provider %v (streak %d)", w.ID, u, n.streakOf(u))
+						}
 					}
 				}
-			} else {
+			} else if n.Tracer != nil {
 				n.trace("contest won against %v: truncate", w.ID)
 			}
 		}
-		newList = n.fold(senders, work)
+		newList = n.fold(incs)
 		// Line 28: remaining too-far nodes did not have the priority.
 		newList = newList.Truncate(dmax + 1)
 	}
 
 	// Learn priorities for the nodes we now track.
-	n.learnPriorities(newList, work)
+	var refPrios, refGprs map[ident.NodeID]priority.P
+	if n.SelfCheck {
+		refPrios, refGprs = precMap(n.prios), precMap(n.gprs)
+	}
+	n.learnPriorities(newList, incs)
+	if n.SelfCheck {
+		n.checkRefLearnPriorities(newList, incs, refPrios, refGprs)
+	}
 
 	// Line 30: update quarantines. The quarantine clock of a node starts
 	// when it first appears *plain* (marked entries are not propagated, so
 	// the group learns about the newcomer only from then on).
 	if !n.cfg.DisableQuarantine {
 		// The smallest remaining quarantine heard per node this round
-		// (inheritance; see Message.Quars), plus the reverse direction:
+		// (inheritance; see the Quar record), plus the reverse direction:
 		// when a sender's message says *our* remaining quarantine is k,
 		// the join completes in k rounds — so our own countdown for the
 		// sender's already-admitted members (entries it lists without a
 		// quarantine) syncs to the same k, and both sides' views flip in
-		// the same round.
-		var heard map[ident.NodeID]int // lazily allocated: empty at steady state
-		for _, u := range senders {
-			msg := work[u].msg
-			if len(msg.Quars) > 0 && heard == nil {
-				heard = make(map[ident.NodeID]int)
-			}
-			for id, q := range msg.Quars {
-				if cur, ok := heard[id]; !ok || q < cur {
-					heard[id] = q
-				}
-			}
-			if k, ok := msg.Quars[n.id]; ok {
-				for _, s := range msg.List {
-					for _, e := range s {
-						if e.Mark.Marked() || e.ID == n.id {
-							continue
-						}
-						if _, quarantined := msg.Quars[e.ID]; quarantined {
-							continue
-						}
-						if cur, known := heard[e.ID]; !known || k < cur {
-							heard[e.ID] = k
-						}
+		// the same round. The fold is a min, so the slice-backed scratch
+		// (empty at steady state) replays the former map bit for bit.
+		heard := n.heardBuf[:0]
+		for i := range incs {
+			msg := &incs[i].msg
+			selfQ := int32(-1)
+			for _, r := range msg.Recs {
+				if r.Quar >= 0 {
+					heard = heardMin(heard, r.ID, int32(r.Quar))
+					if r.ID == n.id && selfQ < 0 {
+						selfQ = int32(r.Quar)
 					}
 				}
 			}
+			if selfQ >= 0 {
+				for _, r := range msg.Recs {
+					if r.Pos < 0 || r.Mark.Marked() || r.ID == n.id || r.Quar >= 0 {
+						continue
+					}
+					heard = heardMin(heard, r.ID, selfQ)
+				}
+			}
 		}
-		nq := n.quarSpare
-		clear(nq)
+		n.heardBuf = heard
+		// The new quarantine slice is appended in list order (each node
+		// appears once in a normalized fold), the self entry forced to 0,
+		// then sorted — same content the former map rebuild produced.
+		nq := n.quarSpare[:0]
+		selfAt := -1
 		for _, s := range newList {
 			for _, e := range s {
 				if e.Mark.Marked() {
 					continue
 				}
-				q, known := n.quar[e.ID]
+				q, known := quarGet(n.quar, e.ID)
 				if !known {
 					q = dmax
 				} else if q > 0 {
@@ -550,36 +686,57 @@ func (n *Node) Compute() {
 				// The heard value was sampled before the peer's own
 				// decrement this round; inherit h-1 so both countdowns
 				// hit zero in the same round.
-				if h, ok := heard[e.ID]; ok && h-1 < q {
-					q = h - 1
+				if h, ok := heardGet(heard, e.ID); ok && int(h)-1 < q {
+					q = int(h) - 1
 					if q < 0 {
 						q = 0
 					}
 				}
-				nq[e.ID] = q
+				if e.ID == n.id {
+					selfAt = len(nq)
+				}
+				nq = append(nq, quarEntry{id: e.ID, q: int32(q)})
 			}
 		}
-		nq[n.id] = 0
+		if selfAt >= 0 {
+			nq[selfAt].q = 0
+		} else {
+			nq = append(nq, quarEntry{id: n.id})
+		}
+		slices.SortFunc(nq, func(a, b quarEntry) int { return cmp.Compare(a.id, b.id) })
 		n.quarSpare = n.quar
 		n.quar = nq
 	} else {
-		n.quar = map[ident.NodeID]int{n.id: 0}
+		nq := n.quarSpare[:0]
+		self := false
 		for _, u := range newList.IDs() {
-			n.quar[u] = 0
+			if u == n.id {
+				self = true
+			}
+			nq = append(nq, quarEntry{id: u})
 		}
+		if !self {
+			nq = append(nq, quarEntry{id: n.id})
+		}
+		slices.SortFunc(nq, func(a, b quarEntry) int { return cmp.Compare(a.id, b.id) })
+		nq = slices.CompactFunc(nq, func(a, b quarEntry) bool { return a.id == b.id })
+		n.quarSpare = n.quar
+		n.quar = nq
 	}
 
 	// Line 31: the view is the plain-marked nodes with null quarantine.
-	nv := n.viewSpare
-	clear(nv)
+	nv := n.viewSpare[:0]
 	for _, s := range newList {
 		for _, e := range s {
-			if !e.Mark.Marked() && n.quar[e.ID] == 0 {
-				nv[e.ID] = true
+			if !e.Mark.Marked() && e.ID != n.id {
+				if q, _ := quarGet(n.quar, e.ID); q == 0 {
+					nv = append(nv, e.ID)
+				}
 			}
 		}
 	}
-	nv[n.id] = true
+	nv = append(nv, n.id)
+	slices.Sort(nv)
 
 	// Line 32: priorities increase only while the node is not in a group.
 	// "Not in a group" is read as *hearing nobody*: the clock ages while
@@ -597,14 +754,14 @@ func (n *Node) Compute() {
 	// member's frozen clock records when it arrived.
 	if len(nv) <= 1 {
 		switch {
-		case len(senders) == 0:
+		case len(incs) == 0:
 			n.self = n.self.Tick()
 		case !n.synced:
 			base := n.self.Clock
-			for _, u := range senders {
-				for _, p := range work[u].msg.Prios {
-					if !p.IsInfinite() && p.Clock > base {
-						base = p.Clock
+			for i := range incs {
+				for _, r := range incs[i].msg.Recs {
+					if r.HasPrio && !r.Prio.IsInfinite() && r.Prio.Clock > base {
+						base = r.Prio.Clock
 					}
 				}
 			}
@@ -612,7 +769,7 @@ func (n *Node) Compute() {
 			n.synced = true
 		}
 	}
-	n.prios[n.id] = n.self
+	n.storeSelfPrio()
 
 	n.list = newList
 	if !viewEqual(nv, n.view) {
@@ -623,18 +780,66 @@ func (n *Node) Compute() {
 
 	// Group priority: the smallest priority of the view's members.
 	gp := n.self
-	for u := range nv {
-		if p, ok := n.prios[u]; ok {
+	for _, u := range nv {
+		if p, ok := n.prioOf(u); ok {
 			gp = gp.Min(p)
 		}
 	}
 	n.group = gp
 
-	// Line 5 of the main algorithm: reset msgSet to detect departures
-	// (clearing in place: the map is node-private and reallocating it
-	// every compute was a top allocation site at scale).
+	// Line 5 of the main algorithm: reset msgSet to detect departures.
+	// The buffers are truncated with their elements zeroed, so retired
+	// broadcasts become collectable while the capacity is kept.
 	clear(n.msgSet)
+	n.msgSet = n.msgSet[:0]
+	clear(incs)
+	n.incsBuf = incs[:0]
 	n.version++
+}
+
+// storeSelfPrio pins the node's own entry in the priority cache.
+func (n *Node) storeSelfPrio() {
+	for i := range n.prios {
+		if n.prios[i].id == n.id {
+			n.prios[i].p = n.self
+			return
+		}
+	}
+	n.prios = append(n.prios, prec{id: n.id, p: n.self})
+	slices.SortFunc(n.prios, func(a, b prec) int { return cmp.Compare(a.id, b.id) })
+}
+
+// heardMin folds (id → min q) into the heard scratch.
+func heardMin(heard []heardRec, id ident.NodeID, q int32) []heardRec {
+	for i := range heard {
+		if heard[i].id == id {
+			if q < heard[i].q {
+				heard[i].q = q
+			}
+			return heard
+		}
+	}
+	return append(heard, heardRec{id: id, q: q})
+}
+
+// heardGet looks id up in the heard scratch.
+func heardGet(heard []heardRec, id ident.NodeID) (int32, bool) {
+	for i := range heard {
+		if heard[i].id == id {
+			return heard[i].q, true
+		}
+	}
+	return 0, false
+}
+
+// precMap explodes a priority-cache slice into map shape (SelfCheck
+// pre-state snapshots and the reference oracle).
+func precMap(s []prec) map[ident.NodeID]priority.P {
+	out := make(map[ident.NodeID]priority.P, len(s))
+	for _, e := range s {
+		out[e.id] = e.p
+	}
+	return out
 }
 
 // escalate records one incompatibility observation against sender u and
@@ -644,11 +849,12 @@ func (n *Node) Compute() {
 // soft ignore does not reset the neighbor's handshake), and the hard
 // double-mark cut once the incompatibility persists.
 func (n *Node) escalate(u ident.NodeID) antlist.List {
-	n.streak[u]++
-	if n.streak[u] < n.cfg.rejectDebounce() {
+	c := n.streakOf(u) + 1
+	if c < n.cfg.rejectDebounce() {
+		n.setStreak(u, c)
 		return antlist.Singleton(ident.Single(u))
 	}
-	n.streak[u] = 0
+	n.setStreak(u, 0)
 	n.reject(u)
 	return antlist.Singleton(ident.Double(u))
 }
@@ -660,7 +866,7 @@ func foreignDepth(n *Node, lu antlist.List) int {
 	q := 0
 	for i, s := range lu {
 		for _, e := range s {
-			if !e.Mark.Marked() && e.ID != n.id && !n.view[e.ID] {
+			if !e.Mark.Marked() && e.ID != n.id && !n.inView(e.ID) {
 				q = i
 				break
 			}
@@ -669,7 +875,9 @@ func foreignDepth(n *Node, lu antlist.List) int {
 	return q
 }
 
-// trace emits a debugging line when a Tracer is installed.
+// trace emits a debugging line when a Tracer is installed. Hot-path call
+// sites guard on Tracer != nil themselves so the variadic arguments are
+// not boxed on the (overwhelmingly common) disabled path.
 func (n *Node) trace(format string, args ...interface{}) {
 	if n.Tracer != nil {
 		n.Tracer(format, args...)
@@ -693,7 +901,14 @@ func (n *Node) reject(u ident.NodeID) {
 	for _, x := range [...]uint64{uint64(n.id), uint64(u), n.computes} {
 		h = (h ^ x) * 1099511628211
 	}
-	n.rejected[u] = n.computes + hold + h%(hold+1)
+	exp := n.computes + hold + h%(hold+1)
+	for i := range n.rejected {
+		if n.rejected[i].id == u {
+			n.rejected[i].exp = exp
+			return
+		}
+	}
+	n.rejected = append(n.rejected, rejEntry{id: u, exp: exp})
 }
 
 // cleanReceived applies line 2: delete marked nodes, except a
@@ -783,7 +998,7 @@ func (n *Node) safePrefix(from ident.NodeID, partial antlist.List, lu antlist.Li
 	p := 0 // deepest protected content
 	for i, s := range n.list {
 		for _, e := range s {
-			if !e.Mark.Marked() && n.view[e.ID] {
+			if !e.Mark.Marked() && n.inView(e.ID) {
 				p = i
 				break
 			}
@@ -858,12 +1073,12 @@ func abs(x int) int {
 // endpoints* are compared (that is what breaks loops of groups willing to
 // merge consistently at both ends — intermediary nodes' priorities never
 // enter), falling back to node priorities when the group priorities tie.
-func (n *Node) farNodeHasPriority(w ident.NodeID, work map[ident.NodeID]*incoming) bool {
-	wNode := n.lookupPriority(w, work)
-	if n.view[w] {
+func (n *Node) farNodeHasPriority(w ident.NodeID, incs []incoming) bool {
+	wNode := n.lookupPriority(w, incs)
+	if n.inView(w) {
 		return wNode.Less(n.self)
 	}
-	wGroup := n.lookupGroupPriority(w, work).Min(wNode)
+	wGroup := n.lookupGroupPriority(w, incs).Min(wNode)
 	switch {
 	case wGroup.Less(n.group):
 		return true
@@ -876,18 +1091,19 @@ func (n *Node) farNodeHasPriority(w ident.NodeID, work map[ident.NodeID]*incomin
 
 // lookupPriority finds the freshest priority known for u. Clocks are
 // monotone, so the freshest advertisement is the largest; the local cache
-// fills in when no message mentions u this round.
-func (n *Node) lookupPriority(u ident.NodeID, work map[ident.NodeID]*incoming) priority.P {
+// fills in when no message mentions u this round. The fold is a max, so
+// the iteration order over the round's messages is immaterial.
+func (n *Node) lookupPriority(u ident.NodeID, incs []incoming) priority.P {
 	best, found := priority.Infinite, false
-	for _, inc := range work {
-		if p, ok := inc.msg.Prios[u]; ok {
-			if !found || best.Less(p) {
-				best, found = p, true
+	for i := range incs {
+		if r, ok := incs[i].msg.Rec(u); ok && r.HasPrio {
+			if !found || best.Less(r.Prio) {
+				best, found = r.Prio, true
 			}
 		}
 	}
 	if !found {
-		if p, ok := n.prios[u]; ok {
+		if p, ok := n.prioOf(u); ok {
 			return p
 		}
 	}
@@ -898,29 +1114,23 @@ func (n *Node) lookupPriority(u ident.NodeID, work map[ident.NodeID]*incoming) p
 // value relayed by the provider knowing u at the smallest position (the
 // shortest witness chain), else the local cache, else Infinite (the caller
 // caps it with u's own node priority, which upper-bounds its group's).
-func (n *Node) lookupGroupPriority(u ident.NodeID, work map[ident.NodeID]*incoming) priority.P {
+// Ties on the position break toward the smallest sender ID — the order
+// the former ascending-ID iteration produced implicitly.
+func (n *Node) lookupGroupPriority(u ident.NodeID, incs []incoming) priority.P {
 	best, bestPos := priority.Infinite, -1
-	ids := make([]ident.NodeID, 0, len(work))
-	for s := range work {
-		ids = append(ids, s)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, s := range ids {
-		inc := work[s]
-		p, ok := inc.msg.GroupPrios[u]
-		if !ok {
+	var bestSid ident.NodeID
+	for i := range incs {
+		r, ok := incs[i].msg.Rec(u)
+		if !ok || !r.HasGroupPrio || r.Pos < 0 {
 			continue
 		}
-		pos, _ := inc.msg.List.Position(u)
-		if pos < 0 {
-			continue
-		}
-		if bestPos < 0 || pos < bestPos {
-			best, bestPos = p, pos
+		sid := incs[i].msg.From
+		if bestPos < 0 || int(r.Pos) < bestPos || (int(r.Pos) == bestPos && sid < bestSid) {
+			best, bestPos, bestSid = r.GroupPrio, int(r.Pos), sid
 		}
 	}
 	if bestPos < 0 {
-		if p, ok := n.gprs[u]; ok {
+		if p, ok := n.gprOf(u); ok {
 			return p
 		}
 	}
@@ -929,10 +1139,10 @@ func (n *Node) lookupGroupPriority(u ident.NodeID, work map[ident.NodeID]*incomi
 
 // fold runs lines 24–27: listv ← (v), then ant over the checked incoming
 // lists in deterministic order, with hole truncation.
-func (n *Node) fold(senders []ident.NodeID, work map[ident.NodeID]*incoming) antlist.List {
+func (n *Node) fold(incs []incoming) antlist.List {
 	out := antlist.Singleton(ident.Plain(n.id))
-	for _, u := range senders {
-		out = out.Ant(work[u].list)
+	for i := range incs {
+		out = out.Ant(incs[i].list)
 	}
 	return holeTruncate(out)
 }
@@ -964,74 +1174,82 @@ func holeTruncate(l antlist.List) antlist.List {
 //     them), so "largest" is meaningless; instead the value is taken from
 //     the provider that knows the node at the smallest list position — the
 //     shortest witness chain back to the node's own authoritative
-//     advertisement — with the provider ID as deterministic tie-break.
-//     This re-propagates the source's current value along BFS paths every
-//     round, so stale values wash out in O(Dmax) computes instead of
-//     circulating as poison.
+//     advertisement — with the smallest provider ID as deterministic
+//     tie-break. This re-propagates the source's current value along BFS
+//     paths every round, so stale values wash out in O(Dmax) computes
+//     instead of circulating as poison.
 //
-// The lookups run per tracked node over the (few) senders rather than
-// materializing intermediate freshest-advertisement maps over every ID
-// any sender mentioned — same result, two maps built instead of five.
-func (n *Node) learnPriorities(newList antlist.List, work map[ident.NodeID]*incoming) {
-	senders := make([]ident.NodeID, 0, len(work))
-	for u := range work {
-		senders = append(senders, u)
-	}
-	sort.Slice(senders, func(i, j int) bool { return senders[i] < senders[j] })
-
-	// The caches are updated in place: each tracked node's entry is read
-	// (fallback) before it is written, and stale entries are pruned after
-	// the pass — same result as rebuilding both maps, without the two
-	// allocations per compute.
+// The lookups are flat scans over each sender's record slice, with the
+// advertised position carried in the record — the map-based original
+// (retained in reference.go as the oracle) probed three maps and
+// re-scanned the sender's list for the position on every lookup. The
+// caches are rebuilt into recycled spare buffers keyed by the new list's
+// node set, which replaces the old update-then-prune map walk with
+// appends and one small sort.
+func (n *Node) learnPriorities(newList antlist.List, incs []incoming) {
+	np := n.priosSpare[:0]
+	ng := n.gprsSpare[:0]
+	selfSeen := false
 	for _, s := range newList {
 		for _, e := range s {
 			u := e.ID
 			// Node priority: clocks are monotone, the freshest
-			// advertisement is the largest.
+			// advertisement is the largest; fall back to the previous
+			// cache entry when nobody mentioned u this round.
 			best, found := priority.Infinite, false
-			for _, sid := range senders {
-				if p, ok := work[sid].msg.Prios[u]; ok && (!found || best.Less(p)) {
-					best, found = p, true
+			for i := range incs {
+				if r, ok := incs[i].msg.Rec(u); ok && r.HasPrio && (!found || best.Less(r.Prio)) {
+					best, found = r.Prio, true
 				}
 			}
+			if u == n.id {
+				selfSeen = true
+				best, found = n.self, true // the self entry is pinned
+			} else if !found {
+				best, found = precGet(n.prios, u)
+			}
 			if found {
-				n.prios[u] = best
+				np = append(np, prec{id: u, p: best})
 			}
 			// Group priority: the provider knowing u at the smallest list
 			// position wins (shortest witness chain), smallest sender ID
-			// breaking ties via the ascending iteration.
+			// breaking ties.
 			bestPos := -1
+			var bestSid ident.NodeID
 			var gbest priority.P
-			for _, sid := range senders {
-				msg := &work[sid].msg
-				p, ok := msg.GroupPrios[u]
-				if !ok {
+			for i := range incs {
+				r, ok := incs[i].msg.Rec(u)
+				if !ok || !r.HasGroupPrio || r.Pos < 0 {
 					continue
 				}
-				pos, _ := msg.List.Position(u)
-				if pos < 0 {
-					continue
+				sid := incs[i].msg.From
+				if bestPos < 0 || int(r.Pos) < bestPos || (int(r.Pos) == bestPos && sid < bestSid) {
+					bestPos, bestSid, gbest = int(r.Pos), sid, r.GroupPrio
 				}
-				if bestPos < 0 || pos < bestPos {
-					bestPos, gbest = pos, p
+			}
+			if bestPos < 0 {
+				if g, ok := precGet(n.gprs, u); ok {
+					gbest, bestPos = g, 0
 				}
 			}
 			if bestPos >= 0 {
-				n.gprs[u] = gbest
+				ng = append(ng, prec{id: u, p: gbest})
 			}
 		}
 	}
-	n.prios[n.id] = n.self
-	for k := range n.prios {
-		if k != n.id && !newList.Has(k) {
-			delete(n.prios, k)
+	if !selfSeen {
+		np = append(np, prec{id: n.id, p: n.self})
+		if g, ok := precGet(n.gprs, n.id); ok {
+			ng = append(ng, prec{id: n.id, p: g})
 		}
 	}
-	for k := range n.gprs {
-		if k != n.id && !newList.Has(k) {
-			delete(n.gprs, k)
-		}
-	}
+	byID := func(a, b prec) int { return cmp.Compare(a.id, b.id) }
+	slices.SortFunc(np, byID)
+	slices.SortFunc(ng, byID)
+	n.priosSpare = n.prios
+	n.gprsSpare = n.gprs
+	n.prios = np
+	n.gprs = ng
 }
 
 // String summarizes the node for debugging.

@@ -424,10 +424,10 @@ func TestBuildMessageCarriesPriorities(t *testing.T) {
 	if m.From != 1 || !m.List.Has(2) {
 		t.Fatalf("message = %+v", m)
 	}
-	if _, ok := m.Prios[1]; !ok {
+	if r, ok := m.Rec(1); !ok || !r.HasPrio {
 		t.Fatal("message must carry own priority")
 	}
-	if _, ok := m.Prios[2]; !ok {
+	if r, ok := m.Rec(2); !ok || !r.HasPrio {
 		t.Fatal("message must carry neighbor priority")
 	}
 	if m.GroupPrio.IsInfinite() {

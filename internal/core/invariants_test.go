@@ -185,11 +185,13 @@ func TestComputeNeverPanicsOnHostileMessages(t *testing.T) {
 			l[p] = s
 		}
 		m := Message{
-			From:      ident.NodeID(2 + rng.Uint32()%4),
-			List:      l,
-			Prios:     map[ident.NodeID]priority.P{ident.NodeID(rng.Uint32() % 8): {Clock: rng.Uint64()}},
+			From: ident.NodeID(2 + rng.Uint32()%4),
+			List: l,
+			Recs: RecsFromMaps(l,
+				map[ident.NodeID]priority.P{ident.NodeID(rng.Uint32() % 8): {Clock: rng.Uint64()}},
+				nil,
+				map[ident.NodeID]int{ident.NodeID(rng.Uint32() % 8): rng.Intn(10) - 3}),
 			GroupPrio: priority.P{Clock: rng.Uint64(), ID: ident.NodeID(rng.Uint32())},
-			Quars:     map[ident.NodeID]int{ident.NodeID(rng.Uint32() % 8): rng.Intn(10) - 3},
 		}
 		n.Receive(m)
 		if i%3 == 0 {

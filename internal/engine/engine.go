@@ -109,11 +109,19 @@ func (p *Params) normalize() {
 	}
 }
 
+// resolvedDelivery is one reception with the receiver and message
+// resolved on the coordinator, so the parallel deliver phase touches no
+// shared maps.
+type resolvedDelivery struct {
+	to  *core.Node
+	msg *core.Message
+}
+
 // shardScratch is one shard's reusable per-tick buffers.
 type shardScratch struct {
 	txs   []radio.Tx
 	bytes int
-	deliv []radio.Delivery
+	deliv []resolvedDelivery
 }
 
 // cachedMsg is one node's last built broadcast, valid while the node's
@@ -126,6 +134,24 @@ type cachedMsg struct {
 	ver  uint64
 }
 
+// nodeRec consolidates the engine's per-node bookkeeping — the protocol
+// node, its timer phase, the cached broadcast and the cached receiver set
+// — into one record behind a single map lookup. The previous layout
+// (separate phase / message-cache / receiver-cache maps) paid three map
+// probes per sender per tick; the receiver cache is now invalidated in
+// O(1) by an epoch stamp instead of clearing 64 shard maps. A record's
+// mutable fields are only ever written by its own shard's worker (or by
+// the coordinator between phases), exactly like the maps they replace.
+type nodeRec struct {
+	n     *core.Node
+	phase int
+
+	cm cachedMsg
+
+	recv      []ident.NodeID
+	recvEpoch uint64
+}
+
 // Engine is one running simulation.
 type Engine struct {
 	P     Params
@@ -135,7 +161,10 @@ type Engine struct {
 	rng       *rand.Rand // global stream: topology + channel + jitter phases
 	shardRNGs [NumShards]*rand.Rand
 	tick      int
-	phase     map[ident.NodeID]int
+
+	// recs is the consolidated per-node bookkeeping (see nodeRec); Nodes
+	// remains the public protocol-node map, maintained in lockstep.
+	recs map[ident.NodeID]*nodeRec
 
 	order     *Roster
 	memberGen uint64
@@ -144,17 +173,18 @@ type Engine struct {
 	sendOneshot  *oneshotWheel  // randomized sends (nil otherwise)
 	computeWheel *periodicWheel
 
-	scratch [NumShards]shardScratch
-	txsBuf  []radio.Tx
+	scratch  [NumShards]shardScratch
+	txsBuf   []radio.Tx
+	delivBuf []radio.Delivery
 
-	// msgCache and recvCache are sharded so the build workers can fill
-	// them without locks: a shard's maps are only ever written by the
-	// worker holding that shard (or by the coordinator between phases).
-	msgCache [NumShards]map[ident.NodeID]cachedMsg
-	recv     [NumShards]map[ident.NodeID][]ident.NodeID
-	recvG    *graph.G // receiver-cache key: graph pointer ...
-	recvGen  uint64   // ... its mutation generation ...
-	recvMem  uint64   // ... and the engine membership generation
+	// Receiver-cache key: the per-record receiver sets are valid while
+	// the topology graph (pointer + mutation generation) and the engine
+	// membership stay put; any change bumps recvEpoch, invalidating every
+	// record at once.
+	recvG     *graph.G
+	recvGen   uint64
+	recvMem   uint64
+	recvEpoch uint64
 
 	snap metrics.SnapshotBuilder
 
@@ -184,15 +214,14 @@ func New(p Params, topo Topology) *Engine {
 		P:            p,
 		Topo:         topo,
 		Nodes:        make(map[ident.NodeID]*core.Node),
+		recs:         make(map[ident.NodeID]*nodeRec),
 		rng:          rand.New(rand.NewSource(p.Seed)),
-		phase:        make(map[ident.NodeID]int),
 		order:        NewRoster(),
 		computeWheel: newPeriodicWheel(p.Tc),
+		recvEpoch:    1, // fresh records (epoch 0) start invalid
 	}
 	for s := range e.shardRNGs {
 		e.shardRNGs[s] = rand.New(rand.NewSource(shardSeed(p.Seed, s)))
-		e.msgCache[s] = make(map[ident.NodeID]cachedMsg)
-		e.recv[s] = make(map[ident.NodeID][]ident.NodeID)
 	}
 	if p.RandomizedSends {
 		e.sendOneshot = newOneshotWheel(p.Ts)
@@ -217,18 +246,21 @@ func NewStatic(p Params, g *graph.G) *Engine {
 }
 
 func (e *Engine) addNode(v ident.NodeID) {
-	e.Nodes[v] = core.NewNode(v, e.P.Cfg)
+	rec := &nodeRec{n: core.NewNode(v, e.P.Cfg)}
+	rec.cm.ver = ^uint64(0) // no broadcast built yet
+	e.Nodes[v] = rec.n
+	e.recs[v] = rec
 	e.order.Add(v)
 	e.memberGen++
 	if e.P.Jitter {
-		e.phase[v] = e.rng.Intn(e.P.Tc)
+		rec.phase = e.rng.Intn(e.P.Tc)
 	}
 	if e.P.RandomizedSends {
 		e.sendOneshot.schedule(v, e.tick+e.shardRNGs[shardOf(v)].Intn(e.P.Ts))
 	} else {
-		e.sendWheel.add(v, e.phase[v])
+		e.sendWheel.add(v, rec.phase)
 	}
-	e.computeWheel.add(v, e.phase[v])
+	e.computeWheel.add(v, rec.phase)
 	if e.dirtyOn {
 		e.dirtyAdded = append(e.dirtyAdded, v)
 	}
@@ -246,20 +278,20 @@ func (e *Engine) AddNode(v ident.NodeID) {
 // RemoveNode makes a node leave: it stops sending and computing. The
 // caller removes it from the topology.
 func (e *Engine) RemoveNode(v ident.NodeID) {
-	if _, ok := e.Nodes[v]; !ok {
+	rec, ok := e.recs[v]
+	if !ok {
 		return
 	}
 	delete(e.Nodes, v)
+	delete(e.recs, v)
 	e.order.Remove(v)
 	e.memberGen++
-	delete(e.msgCache[shardOf(v)], v)
 	if e.P.RandomizedSends {
 		e.sendOneshot.removeEverywhere(v)
 	} else {
-		e.sendWheel.remove(v, e.phase[v])
+		e.sendWheel.remove(v, rec.phase)
 	}
-	e.computeWheel.remove(v, e.phase[v])
-	delete(e.phase, v)
+	e.computeWheel.remove(v, rec.phase)
 	if e.dirtyOn {
 		e.dirtyRemoved = append(e.dirtyRemoved, v)
 	}
@@ -339,14 +371,12 @@ func (e *Engine) Step() {
 	// Phase 2: build. The wheel hands each shard exactly its due senders
 	// in canonical order; workers draw send backoffs from their shard's
 	// private stream, so the draw sequence is independent of the worker
-	// count. Broadcasts and receiver sets come from the shard caches:
+	// count. Broadcasts and receiver sets come from each node's record:
 	// messages revalidate against the node's state version, receiver sets
-	// against the (topology, membership) generations checked below.
+	// against the epoch bumped below on any (topology, membership) change.
 	g := e.Topo.Graph()
 	if g != e.recvG || g.Generation() != e.recvGen || e.memberGen != e.recvMem {
-		for s := range e.recv {
-			clear(e.recv[s])
-		}
+		e.recvEpoch++
 		e.recvG, e.recvGen, e.recvMem = g, g.Generation(), e.memberGen
 	}
 	var due *shardBuckets
@@ -360,35 +390,33 @@ func (e *Engine) Step() {
 		sc.txs = sc.txs[:0]
 		sc.bytes = 0
 		for _, v := range due[s] {
-			n, ok := e.Nodes[v]
+			rec, ok := e.recs[v]
 			if !ok {
 				continue
 			}
 			if e.P.RandomizedSends {
 				e.sendOneshot.schedule(v, e.tick+1+e.shardRNGs[s].Intn(e.P.Ts))
 			}
-			live, ok := e.recv[s][v]
-			if !ok {
-				// Filter into an engine-owned slice: the Topology
-				// interface only promises read-only access to whatever
-				// Receivers returns, and this copy is cached across ticks.
-				rcv := e.Topo.Receivers(v)
-				live = make([]ident.NodeID, 0, len(rcv))
-				for _, u := range rcv {
-					if _, alive := e.Nodes[u]; alive {
+			if rec.recvEpoch != e.recvEpoch {
+				// Refill the record's recycled slice and drop dead nodes
+				// in place. Reuse is safe: transmissions referencing the
+				// old backing were consumed within their own tick.
+				buf := e.Topo.AppendReceivers(v, rec.recv[:0])
+				live := buf[:0]
+				for _, u := range buf {
+					if _, alive := e.recs[u]; alive {
 						live = append(live, u)
 					}
 				}
-				e.recv[s][v] = live
+				rec.recv = live
+				rec.recvEpoch = e.recvEpoch
 			}
-			cm, ok := e.msgCache[s][v]
-			if !ok || cm.ver != n.Version() {
-				m := n.BuildMessage()
-				cm = cachedMsg{m: m, size: m.EncodedSize(), ver: n.Version()}
-				e.msgCache[s][v] = cm
+			if rec.cm.ver != rec.n.Version() {
+				m := rec.n.BuildMessage()
+				rec.cm = cachedMsg{m: m, size: m.EncodedSize(), ver: rec.n.Version()}
 			}
-			sc.txs = append(sc.txs, radio.Tx{Sender: v, Receivers: live})
-			sc.bytes += cm.size
+			sc.txs = append(sc.txs, radio.Tx{Sender: v, Receivers: rec.recv})
+			sc.bytes += rec.cm.size
 		}
 	})
 	if e.P.RandomizedSends {
@@ -407,26 +435,46 @@ func (e *Engine) Step() {
 	e.txsBuf = txs
 
 	if len(txs) > 0 {
-		// Phase 3: channel arbitration (global RNG stream, sequential).
-		deliveries := e.P.Channel.DeliverSlot(txs, e.rng)
+		// Phase 3: channel arbitration (global RNG stream, sequential),
+		// through the recycled delivery buffer when the channel supports
+		// it.
+		var deliveries []radio.Delivery
+		if bc, ok := e.P.Channel.(radio.BufferedChannel); ok {
+			e.delivBuf = bc.AppendDeliverSlot(txs, e.rng, e.delivBuf[:0])
+			deliveries = e.delivBuf
+		} else {
+			deliveries = e.P.Channel.DeliverSlot(txs, e.rng)
+		}
 
 		// Phase 4: deliver. Receptions are partitioned by receiver shard
-		// on the coordinator, then stored in parallel: each node's inbox
-		// is only ever touched by its own shard's worker.
+		// on the coordinator — with the receiver node and sender message
+		// resolved up front — then stored in parallel: each node's inbox
+		// is only ever touched by its own shard's worker, which no longer
+		// probes any shared map.
 		for s := range e.scratch {
 			e.scratch[s].deliv = e.scratch[s].deliv[:0]
 		}
 		for _, d := range deliveries {
-			if _, ok := e.Nodes[d.To]; !ok {
+			to, ok := e.recs[d.To]
+			if !ok {
+				continue
+			}
+			e.Deliveries++
+			from, ok := e.recs[d.From]
+			if !ok {
+				// A channel implementation fabricated or replayed a
+				// delivery from a sender that is no longer (or never was)
+				// live: count it, deliver nothing — the pre-rewrite
+				// message-cache lookup yielded a zero Message here, which
+				// Receive dropped.
 				continue
 			}
 			sc := &e.scratch[shardOf(d.To)]
-			sc.deliv = append(sc.deliv, d)
-			e.Deliveries++
+			sc.deliv = append(sc.deliv, resolvedDelivery{to: to.n, msg: &from.cm.m})
 		}
 		e.runShards(func(s int) {
 			for _, d := range e.scratch[s].deliv {
-				e.Nodes[d.To].Receive(e.msgCache[shardOf(d.From)][d.From].m)
+				d.to.Receive(*d.msg)
 			}
 		})
 	}
@@ -435,8 +483,8 @@ func (e *Engine) Step() {
 	cdue := e.computeWheel.due(e.tick)
 	e.runShards(func(s int) {
 		for _, v := range cdue[s] {
-			if n, ok := e.Nodes[v]; ok {
-				n.Compute()
+			if rec, ok := e.recs[v]; ok {
+				rec.n.Compute()
 				if e.dirtyOn {
 					e.dirtyComputed[s] = append(e.dirtyComputed[s], v)
 				}

@@ -28,6 +28,12 @@ type Topology interface {
 	// SpatialTopology, produce a fresh or generation-bumped graph in
 	// Advance.
 	Receivers(v ident.NodeID) []ident.NodeID
+	// AppendReceivers appends the nodes that can hear a broadcast from v
+	// to buf and returns the extended slice — the allocation-free variant
+	// of Receivers the engine's build phase recycles its per-node
+	// receiver buffers through. Same concurrency and coherence contract
+	// as Receivers.
+	AppendReceivers(v ident.NodeID, buf []ident.NodeID) []ident.NodeID
 	// Nodes returns the current node population in ascending order.
 	Nodes() []ident.NodeID
 }
@@ -44,6 +50,11 @@ func (t *StaticTopology) Graph() *graph.G { return t.G }
 
 // Receivers implements Topology: the graph's neighbors.
 func (t *StaticTopology) Receivers(v ident.NodeID) []ident.NodeID { return t.G.Neighbors(v) }
+
+// AppendReceivers implements Topology without allocating.
+func (t *StaticTopology) AppendReceivers(v ident.NodeID, buf []ident.NodeID) []ident.NodeID {
+	return t.G.AppendNeighbors(v, buf)
+}
 
 // Nodes implements Topology.
 func (t *StaticTopology) Nodes() []ident.NodeID { return t.G.Nodes() }
@@ -86,6 +97,11 @@ func (t *SpatialTopology) Graph() *graph.G { return t.cached }
 // Receivers implements Topology: the world's vicinity relation (which may
 // be asymmetric; the protocol is in charge of symmetry detection).
 func (t *SpatialTopology) Receivers(v ident.NodeID) []ident.NodeID { return t.World.Receivers(v) }
+
+// AppendReceivers implements Topology without allocating.
+func (t *SpatialTopology) AppendReceivers(v ident.NodeID, buf []ident.NodeID) []ident.NodeID {
+	return t.World.AppendReceivers(v, buf)
+}
 
 // Nodes implements Topology.
 func (t *SpatialTopology) Nodes() []ident.NodeID { return t.World.Nodes() }

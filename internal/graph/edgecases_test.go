@@ -1,0 +1,180 @@
+package graph
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/ident"
+)
+
+// Edge-case coverage for the CSR representation: empty graph, single
+// node, self-loop rejection, unknown-node queries, and the generation
+// bump semantics caches key on.
+
+func TestEmptyGraphQueries(t *testing.T) {
+	g := New()
+	if g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("empty graph not empty: %s", g)
+	}
+	if got := g.Nodes(); len(got) != 0 {
+		t.Fatalf("Nodes() = %v", got)
+	}
+	if !g.Connected() {
+		t.Fatal("empty graph must count as connected")
+	}
+	if d := g.Diameter(); d != 0 {
+		t.Fatalf("empty diameter = %d", d)
+	}
+	if g.HasNode(1) || g.HasEdge(1, 2) || g.Degree(1) != 0 {
+		t.Fatal("phantom content in empty graph")
+	}
+	if d := g.BFSFrom(1, nil); len(d) != 0 {
+		t.Fatalf("BFS from absent node reached %v", d)
+	}
+	if !g.Equal(New()) {
+		t.Fatal("two empty graphs must be equal")
+	}
+	if r := g.Restrict(func(ident.NodeID) bool { return true }); r.NumNodes() != 0 {
+		t.Fatal("restricting empty graph grew it")
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	g := New()
+	g.AddNode(7)
+	if g.NumNodes() != 1 || g.NumEdges() != 0 {
+		t.Fatalf("single node graph: %s", g)
+	}
+	if !g.Connected() || g.Diameter() != 0 {
+		t.Fatal("singleton must be connected with diameter 0")
+	}
+	if got := g.Neighbors(7); len(got) != 0 {
+		t.Fatalf("singleton neighbors = %v", got)
+	}
+	if d := g.BFSFrom(7, nil); len(d) != 1 || d[7] != 0 {
+		t.Fatalf("BFS from singleton = %v", d)
+	}
+	g.RemoveNode(7)
+	if g.HasNode(7) || g.NumNodes() != 0 {
+		t.Fatal("remove of last node failed")
+	}
+}
+
+func TestSelfLoopRejectedEverywhere(t *testing.T) {
+	g := New()
+	gen := g.Generation()
+	g.AddEdge(3, 3)
+	if g.Generation() != gen {
+		t.Fatal("ignored self-loop must not bump the generation")
+	}
+	if g.HasNode(3) || g.NumEdges() != 0 {
+		t.Fatalf("self-loop created state: %s", g)
+	}
+	// Bulk construction drops self-loops too.
+	fe := FromEdges([]ident.NodeID{1, 2}, []Edge{{U: 1, V: 1}, {U: 1, V: 2}, {U: 2, V: 2}})
+	if fe.NumEdges() != 1 || fe.HasEdge(1, 1) || fe.HasEdge(2, 2) {
+		t.Fatalf("FromEdges kept self-loops: %s", fe)
+	}
+}
+
+func TestQueriesOnUnknownNode(t *testing.T) {
+	g := Line(3)
+	if got := g.AppendNeighbors(99, nil); len(got) != 0 {
+		t.Fatalf("AppendNeighbors(unknown) = %v", got)
+	}
+	buf := []ident.NodeID{42}
+	if got := g.AppendNeighbors(99, buf); !slices.Equal(got, buf) {
+		t.Fatalf("AppendNeighbors(unknown, buf) = %v", got)
+	}
+	if got := g.NeighborsView(99); got != nil {
+		t.Fatalf("NeighborsView(unknown) = %v", got)
+	}
+	calls := 0
+	g.ForEachNeighbor(99, func(ident.NodeID) { calls++ })
+	if calls != 0 {
+		t.Fatal("ForEachNeighbor visited neighbors of an unknown node")
+	}
+	// Mutations on unknown nodes are no-ops (beyond the generation bump).
+	g.RemoveNode(99)
+	g.RemoveEdge(99, 1)
+	g.RemoveEdge(1, 99)
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("unknown-node mutation changed the graph: %s", g)
+	}
+}
+
+// TestGenerationBumpSemantics pins the contract cache keys rely on:
+// every mutating call moves the generation (even a no-op one — callers
+// must be able to invalidate conservatively), read-only calls never do.
+func TestGenerationBumpSemantics(t *testing.T) {
+	g := New()
+	last := g.Generation()
+	step := func(name string, fn func()) {
+		t.Helper()
+		fn()
+		if g.Generation() <= last {
+			t.Fatalf("%s did not bump the generation", name)
+		}
+		last = g.Generation()
+	}
+	step("AddNode", func() { g.AddNode(1) })
+	step("AddNode (existing)", func() { g.AddNode(1) })
+	step("AddEdge", func() { g.AddEdge(1, 2) })
+	step("AddEdge (duplicate)", func() { g.AddEdge(2, 1) })
+	step("RemoveEdge", func() { g.RemoveEdge(1, 2) })
+	step("RemoveEdge (absent)", func() { g.RemoveEdge(1, 2) })
+	step("RemoveNode", func() { g.RemoveNode(2) })
+	step("RemoveNode (absent)", func() { g.RemoveNode(2) })
+
+	// Read-only calls leave it alone.
+	g.AddEdge(1, 3)
+	last = g.Generation()
+	g.Nodes()
+	g.Neighbors(1)
+	g.NeighborsView(1)
+	g.AppendNodes(nil)
+	g.BFSFrom(1, nil)
+	g.InducedDiameter(g.NodeSet())
+	g.Connected()
+	_ = g.Clone()
+	_ = g.Restrict(func(ident.NodeID) bool { return true })
+	if g.Generation() != last {
+		t.Fatal("read-only call bumped the generation")
+	}
+}
+
+// TestRemoveNodeRelabelsSlots exercises the swap-delete slot compaction:
+// removing an interior node must leave every other adjacency intact.
+func TestRemoveNodeRelabelsSlots(t *testing.T) {
+	g := Complete(6)
+	g.RemoveNode(3)
+	if g.NumNodes() != 5 || g.NumEdges() != 10 {
+		t.Fatalf("after removal: %s", g)
+	}
+	for _, v := range g.Nodes() {
+		nb := g.Neighbors(v)
+		if len(nb) != 4 || slices.Contains(nb, 3) {
+			t.Fatalf("neighbors of %v after removal: %v", v, nb)
+		}
+		if !slices.IsSorted(nb) {
+			t.Fatalf("neighbors of %v not ascending: %v", v, nb)
+		}
+	}
+}
+
+// TestFromEdgesArenaGrowth pins the arena-aliasing contract: growing an
+// adjacency of a bulk-built graph via AddEdge must not clobber the next
+// node's segment.
+func TestFromEdgesArenaGrowth(t *testing.T) {
+	g := FromEdges([]ident.NodeID{1, 2, 3, 4}, []Edge{{U: 1, V: 2}, {U: 3, V: 4}})
+	g.AddEdge(1, 3) // grows node 1's and node 3's segments
+	g.AddEdge(1, 4)
+	want := map[ident.NodeID][]ident.NodeID{
+		1: {2, 3, 4}, 2: {1}, 3: {1, 4}, 4: {1, 3},
+	}
+	for v, nb := range want {
+		if got := g.Neighbors(v); !slices.Equal(got, nb) {
+			t.Fatalf("neighbors of %v = %v, want %v", v, got, nb)
+		}
+	}
+}

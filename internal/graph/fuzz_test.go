@@ -1,0 +1,159 @@
+package graph
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/ident"
+)
+
+// FuzzCSROps replays an arbitrary mutation/query sequence decoded from
+// the fuzz input against both the CSR graph and the retained map-of-maps
+// reference, asserting every observable agrees after every operation.
+// Each input byte pair is one op: the low bits of the first byte select
+// the operation, the second byte (mod 16) the operand node(s) — a small
+// ID space keeps collisions (re-adds, double-removes, duplicate edges)
+// frequent.
+func FuzzCSROps(f *testing.F) {
+	f.Add([]byte{0x00, 0x12, 0x02, 0x23, 0x02, 0x31, 0x03, 0x23})
+	f.Add([]byte{0x02, 0x12, 0x02, 0x13, 0x02, 0x14, 0x01, 0x01, 0x02, 0x12})
+	f.Add([]byte{0x00, 0x01, 0x00, 0x01, 0x01, 0x01, 0x03, 0x11, 0x02, 0x11})
+	f.Add([]byte{0x02, 0xab, 0x02, 0xba, 0x02, 0xcd, 0x01, 0x0b, 0x02, 0xdc})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := New()
+		ref := NewRef()
+		for i := 0; i+1 < len(data); i += 2 {
+			op := data[i] % 5
+			a := ident.NodeID(data[i+1]>>4) + 1
+			b := ident.NodeID(data[i+1]&0xf) + 1
+			switch op {
+			case 0:
+				g.AddNode(a)
+				ref.AddNode(a)
+			case 1:
+				g.RemoveNode(a)
+				ref.RemoveNode(a)
+			case 2:
+				g.AddEdge(a, b)
+				ref.AddEdge(a, b)
+			case 3:
+				g.RemoveEdge(a, b)
+				ref.RemoveEdge(a, b)
+			case 4:
+				// Restrict to even IDs and compare against the reference
+				// restricted the slow way.
+				keep := func(v ident.NodeID) bool { return v%2 == 0 }
+				r := g.Restrict(keep)
+				for _, v := range ref.Nodes() {
+					if !keep(v) {
+						if r.HasNode(v) {
+							t.Fatalf("restrict kept %v", v)
+						}
+						continue
+					}
+					var want []ident.NodeID
+					for _, u := range ref.Neighbors(v) {
+						if keep(u) {
+							want = append(want, u)
+						}
+					}
+					if !slices.Equal(want, r.Neighbors(v)) {
+						t.Fatalf("restrict neighbors of %v: %v vs %v", v, r.Neighbors(v), want)
+					}
+				}
+			}
+			checkSame(t, g, ref)
+		}
+	})
+}
+
+// FuzzCSRFromEdges decodes an arbitrary edge list (self-loops and
+// duplicates included) from the fuzz input, bulk-builds the CSR graph,
+// and asserts it matches the reference built edge by edge — construction
+// and neighbor iteration both.
+func FuzzCSRFromEdges(f *testing.F) {
+	f.Add([]byte{0x12, 0x23, 0x31, 0x11, 0x23, 0x23})
+	f.Add([]byte{0xab, 0xbc, 0xcd, 0xde, 0xea})
+	f.Add([]byte{0x11, 0x22, 0x33})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var nodes []ident.NodeID
+		var edges []Edge
+		ref := NewRef()
+		for i, x := range data {
+			u := ident.NodeID(x>>4) + 1
+			v := ident.NodeID(x&0xf) + 1
+			if i%3 == 0 {
+				nodes = append(nodes, u)
+				ref.AddNode(u)
+			}
+			edges = append(edges, Edge{U: u, V: v})
+			ref.AddEdge(u, v)
+		}
+		g := FromEdges(nodes, edges)
+		checkSame(t, g, ref)
+		// The shared-index rebuild path must agree too.
+		roster := g.Nodes()
+		g2 := FromEdgesShared(g, append([]ident.NodeID(nil), g.nodes...), edges)
+		checkSame(t, g2, ref)
+		if !slices.Equal(roster, g2.Nodes()) {
+			t.Fatal("shared-index rebuild changed the roster")
+		}
+		// Mutating the shared-roster graph must not corrupt the original.
+		before := g.NumNodes()
+		g2.AddNode(200)
+		g2.RemoveNode(1)
+		if g.NumNodes() != before || g.HasNode(200) {
+			t.Fatal("mutation leaked across the shared roster")
+		}
+		checkSame(t, g, ref)
+	})
+}
+
+// checkSame asserts every observable of the CSR graph matches the
+// reference: roster, edge count, per-node neighbor slices (content and
+// ascending order), HasEdge, degrees, BFS distances and connectivity.
+func checkSame(t *testing.T, g *G, ref *Ref) {
+	t.Helper()
+	if !ref.SameAs(g) {
+		t.Fatalf("graphs diverged: %s vs ref n=%d m=%d", g, ref.NumNodes(), ref.NumEdges())
+	}
+	nodes := ref.Nodes()
+	if !slices.Equal(nodes, g.Nodes()) {
+		t.Fatalf("rosters diverged: %v vs %v", g.Nodes(), nodes)
+	}
+	var buf []ident.NodeID
+	for _, v := range nodes {
+		want := ref.Neighbors(v)
+		if !slices.Equal(want, g.Neighbors(v)) {
+			t.Fatalf("neighbors of %v: %v vs %v", v, g.Neighbors(v), want)
+		}
+		if !slices.Equal(want, g.NeighborsView(v)) {
+			t.Fatalf("neighbor view of %v diverged", v)
+		}
+		buf = g.AppendNeighbors(v, buf[:0])
+		if !slices.Equal(want, buf) {
+			t.Fatalf("append-neighbors of %v diverged", v)
+		}
+		if g.Degree(v) != len(want) {
+			t.Fatalf("degree of %v: %d vs %d", v, g.Degree(v), len(want))
+		}
+		for _, u := range want {
+			if !g.HasEdge(v, u) || !g.HasEdge(u, v) {
+				t.Fatalf("edge (%v,%v) missing", v, u)
+			}
+		}
+	}
+	if len(nodes) > 0 {
+		src := nodes[0]
+		want := ref.BFSFrom(src, nil)
+		got := g.BFSFrom(src, nil)
+		if len(want) != len(got) {
+			t.Fatalf("BFS reach from %v: %d vs %d", src, len(got), len(want))
+		}
+		for v, d := range want {
+			if got[v] != d {
+				t.Fatalf("BFS dist %v→%v: %d vs %d", src, v, got[v], d)
+			}
+		}
+	}
+}

@@ -2,11 +2,22 @@
 // BFS distances, induced-subgraph diameters and connectivity — everything
 // the Dynamic Group Service specification (ΠA, ΠS, ΠM, ΠT) is defined
 // against — plus generators for the topologies used by the experiments.
+//
+// Storage is CSR-style: a node-index map plus per-node sorted flat
+// neighbor slices. Bulk construction (FromEdges — the shape the spatial
+// index's sharded build produces) lays every adjacency out in one shared
+// arena; incremental mutation (AddEdge/RemoveEdge, the experiments' link
+// cuts) edits the slices in place, falling back to a private copy when an
+// arena-backed slice must grow. Compared to the previous map-of-maps
+// representation this removes the per-node map allocations that dominated
+// the per-tick graph rebuild at n=20000, makes neighbor iteration a
+// cache-friendly slice scan in ascending order, and lets observers diff
+// neighborhoods with a flat slice compare (NeighborsView).
 package graph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/ident"
 )
@@ -15,28 +26,160 @@ import (
 // (d(u,v) = +∞ in the paper).
 const Infinity = int(^uint(0) >> 1)
 
+// Edge is one undirected edge for bulk construction (FromEdges).
+type Edge struct{ U, V ident.NodeID }
+
 // G is an undirected graph over NodeIDs. The zero value is an empty graph.
 // Directed (asymmetric) links are modeled at the radio layer; the
 // specification predicates all use the symmetric graph.
 type G struct {
-	adj map[ident.NodeID]map[ident.NodeID]bool
-	gen uint64
+	idx   map[ident.NodeID]int32 // node → slot
+	nodes []ident.NodeID         // slot → node (insertion order)
+	adj   [][]ident.NodeID       // slot → neighbors, ascending
+
+	// sorted caches the ascending roster; rebuilt lazily after node
+	// membership changes (edge mutations never invalidate it).
+	sorted   []ident.NodeID
+	sortedOK bool
+
+	// sharedIdx marks idx/nodes as shared with another graph built over
+	// the same roster (FromEdgesShared); any node mutation first takes a
+	// private copy.
+	sharedIdx bool
+
+	edges int
+	gen   uint64
 }
 
 // New returns an empty graph.
 func New() *G {
-	return &G{adj: make(map[ident.NodeID]map[ident.NodeID]bool)}
+	return &G{idx: make(map[ident.NodeID]int32)}
+}
+
+// FromEdges bulk-builds a graph over the given nodes and undirected
+// edges in a single arena: degrees are counted, one flat neighbor array
+// is allocated, and each node's segment is filled and sorted. Endpoints
+// absent from nodes are added; self-loops and duplicate edges are
+// ignored. This is the construction path of the spatial index's 64-shard
+// fan-out — the result is identical for any permutation of edges.
+func FromEdges(nodes []ident.NodeID, edges []Edge) *G {
+	return FromEdgesShared(nil, nodes, edges)
+}
+
+// FromEdgesShared is FromEdges with one amortization: when prev is a
+// graph whose slots were created over exactly this node sequence (the
+// per-tick rebuild of a mobile world whose membership didn't change),
+// the new graph shares prev's node index instead of rebuilding the map.
+// Both graphs mark the roster shared and take a private copy before any
+// later node mutation, so sharing is invisible to callers.
+func FromEdgesShared(prev *G, nodes []ident.NodeID, edges []Edge) *G {
+	g := &G{}
+	if prev != nil && len(prev.nodes) == len(nodes) && slices.Equal(prev.nodes, nodes) {
+		prev.sharedIdx = true
+		g.idx = prev.idx
+		g.nodes = prev.nodes
+		g.adj = make([][]ident.NodeID, len(nodes))
+		g.sharedIdx = true
+	} else {
+		g.idx = make(map[ident.NodeID]int32, len(nodes))
+		for _, v := range nodes {
+			g.ensure(v)
+		}
+	}
+	for _, e := range edges {
+		if e.U != e.V {
+			g.ensure(e.U)
+			g.ensure(e.V)
+		}
+	}
+	deg := make([]int32, len(g.nodes))
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		deg[g.idx[e.U]]++
+		deg[g.idx[e.V]]++
+	}
+	total := 0
+	for _, d := range deg {
+		total += int(d)
+	}
+	arena := make([]ident.NodeID, total)
+	off := int32(0)
+	for i, d := range deg {
+		// Full slice expressions pin cap to the segment: a later AddEdge
+		// that must grow this adjacency reallocates a private slice
+		// instead of clobbering the next node's segment.
+		g.adj[i] = arena[off : off : off+d]
+		off += d
+	}
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		iu, iv := g.idx[e.U], g.idx[e.V]
+		g.adj[iu] = append(g.adj[iu], e.V)
+		g.adj[iv] = append(g.adj[iv], e.U)
+	}
+	for i := range g.adj {
+		s := g.adj[i]
+		slices.Sort(s)
+		s = slices.Compact(s) // drop duplicate edges
+		g.adj[i] = s
+		g.edges += len(s)
+	}
+	g.edges /= 2
+	return g
+}
+
+// ensure returns v's slot, creating it if needed (no generation bump —
+// callers bump once per mutating API call).
+func (g *G) ensure(v ident.NodeID) int32 {
+	if i, ok := g.idx[v]; ok {
+		return i
+	}
+	g.unshareIdx()
+	if g.idx == nil {
+		g.idx = make(map[ident.NodeID]int32)
+	}
+	i := int32(len(g.nodes))
+	g.idx[v] = i
+	g.nodes = append(g.nodes, v)
+	g.adj = append(g.adj, nil)
+	g.sortedOK = false
+	return i
+}
+
+// unshareIdx takes a private copy of a roster shared via FromEdgesShared
+// before the first node mutation.
+func (g *G) unshareIdx() {
+	if !g.sharedIdx {
+		return
+	}
+	idx := make(map[ident.NodeID]int32, len(g.idx))
+	for v, i := range g.idx {
+		idx[v] = i
+	}
+	g.idx = idx
+	g.nodes = slices.Clone(g.nodes)
+	g.sharedIdx = false
 }
 
 // Clone returns a deep copy of the graph.
 func (g *G) Clone() *G {
-	out := New()
-	for v, nb := range g.adj {
-		m := make(map[ident.NodeID]bool, len(nb))
-		for u := range nb {
-			m[u] = true
+	out := &G{
+		idx:   make(map[ident.NodeID]int32, len(g.idx)),
+		nodes: slices.Clone(g.nodes),
+		adj:   make([][]ident.NodeID, len(g.adj)),
+		edges: g.edges,
+	}
+	for v, i := range g.idx {
+		out.idx[v] = i
+	}
+	for i, nb := range g.adj {
+		if len(nb) > 0 {
+			out.adj[i] = slices.Clone(nb)
 		}
-		out.adj[v] = m
 	}
 	return out
 }
@@ -44,24 +187,49 @@ func (g *G) Clone() *G {
 // Generation returns a counter that increases on every mutation of the
 // graph. Consumers that cache derived structures (e.g. the snapshot
 // builder) key their caches on (pointer, generation) to detect in-place
-// mutations such as the experiments' link cuts.
+// mutations such as the experiments' link cuts. Every mutating call
+// (AddNode, RemoveNode, AddEdge, RemoveEdge) bumps it at least once,
+// whether or not it changed the edge set; read-only calls never do.
 func (g *G) Generation() uint64 { return g.gen }
 
 // AddNode ensures v exists (possibly isolated).
 func (g *G) AddNode(v ident.NodeID) {
 	g.gen++
-	if g.adj[v] == nil {
-		g.adj[v] = make(map[ident.NodeID]bool)
-	}
+	g.ensure(v)
 }
 
 // RemoveNode deletes v and all its incident edges.
 func (g *G) RemoveNode(v ident.NodeID) {
 	g.gen++
-	for u := range g.adj[v] {
-		delete(g.adj[u], v)
+	i, ok := g.idx[v]
+	if !ok {
+		return
 	}
-	delete(g.adj, v)
+	g.unshareIdx()
+	for _, u := range g.adj[i] {
+		g.dropHalf(g.idx[u], v)
+		g.edges--
+	}
+	last := int32(len(g.nodes) - 1)
+	if i != last {
+		moved := g.nodes[last]
+		g.nodes[i] = moved
+		g.adj[i] = g.adj[last]
+		g.idx[moved] = i
+	}
+	g.nodes = g.nodes[:last]
+	g.adj[last] = nil
+	g.adj = g.adj[:last]
+	delete(g.idx, v)
+	g.sortedOK = false
+}
+
+// dropHalf removes v from slot i's adjacency (which must contain it).
+func (g *G) dropHalf(i int32, v ident.NodeID) {
+	s := g.adj[i]
+	k, _ := slices.BinarySearch(s, v)
+	copy(s[k:], s[k+1:])
+	g.adj[i] = s[:len(s)-1]
 }
 
 // AddEdge inserts the undirected edge (u,v), creating the nodes if needed.
@@ -70,99 +238,140 @@ func (g *G) AddEdge(u, v ident.NodeID) {
 	if u == v {
 		return
 	}
-	g.AddNode(u)
-	g.AddNode(v)
-	g.adj[u][v] = true
-	g.adj[v][u] = true
+	g.gen++
+	iu := g.ensure(u)
+	iv := g.ensure(v)
+	if !insertSorted(&g.adj[iu], v) {
+		return
+	}
+	insertSorted(&g.adj[iv], u)
+	g.edges++
+}
+
+// insertSorted inserts v into the ascending slice at *s, reporting
+// whether it was absent.
+func insertSorted(s *[]ident.NodeID, v ident.NodeID) bool {
+	k, found := slices.BinarySearch(*s, v)
+	if found {
+		return false
+	}
+	*s = slices.Insert(*s, k, v)
+	return true
 }
 
 // RemoveEdge deletes the undirected edge (u,v) if present.
 func (g *G) RemoveEdge(u, v ident.NodeID) {
 	g.gen++
-	if g.adj[u] != nil {
-		delete(g.adj[u], v)
+	iu, ok := g.idx[u]
+	if !ok {
+		return
 	}
-	if g.adj[v] != nil {
-		delete(g.adj[v], u)
+	iv, ok := g.idx[v]
+	if !ok {
+		return
 	}
+	if _, found := slices.BinarySearch(g.adj[iu], v); !found {
+		return
+	}
+	g.dropHalf(iu, v)
+	g.dropHalf(iv, u)
+	g.edges--
 }
 
 // HasNode reports whether v is in the graph.
-func (g *G) HasNode(v ident.NodeID) bool { _, ok := g.adj[v]; return ok }
+func (g *G) HasNode(v ident.NodeID) bool { _, ok := g.idx[v]; return ok }
 
 // HasEdge reports whether the undirected edge (u,v) is present.
-func (g *G) HasEdge(u, v ident.NodeID) bool { return g.adj[u][v] }
-
-// Nodes returns all nodes in ascending order.
-func (g *G) Nodes() []ident.NodeID {
-	out := make([]ident.NodeID, 0, len(g.adj))
-	for v := range g.adj {
-		out = append(out, v)
+func (g *G) HasEdge(u, v ident.NodeID) bool {
+	i, ok := g.idx[u]
+	if !ok {
+		return false
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	_, found := slices.BinarySearch(g.adj[i], v)
+	return found
+}
+
+// roster returns the cached ascending node slice (read-only).
+func (g *G) roster() []ident.NodeID {
+	if !g.sortedOK {
+		g.sorted = append(g.sorted[:0], g.nodes...)
+		slices.Sort(g.sorted)
+		g.sortedOK = true
+	}
+	return g.sorted
+}
+
+// Nodes returns all nodes in ascending order (a fresh copy).
+func (g *G) Nodes() []ident.NodeID {
+	return slices.Clone(g.roster())
 }
 
 // AppendNodes appends all nodes in ascending order to buf and returns the
 // extended slice — the allocation-free variant of Nodes for callers that
 // iterate every round and can recycle a buffer (obs, metrics).
 func (g *G) AppendNodes(buf []ident.NodeID) []ident.NodeID {
-	start := len(buf)
-	for v := range g.adj {
-		buf = append(buf, v)
-	}
-	tail := buf[start:]
-	sort.Slice(tail, func(i, j int) bool { return tail[i] < tail[j] })
-	return buf
+	return append(buf, g.roster()...)
 }
 
 // NumNodes returns the node count.
-func (g *G) NumNodes() int { return len(g.adj) }
+func (g *G) NumNodes() int { return len(g.nodes) }
 
 // NumEdges returns the undirected edge count.
-func (g *G) NumEdges() int {
-	n := 0
-	for _, nb := range g.adj {
-		n += len(nb)
+func (g *G) NumEdges() int { return g.edges }
+
+// Neighbors returns v's neighbors in ascending order (a fresh copy).
+func (g *G) Neighbors(v ident.NodeID) []ident.NodeID {
+	i, ok := g.idx[v]
+	if !ok {
+		return nil
 	}
-	return n / 2
+	return slices.Clone(g.adj[i])
 }
 
-// Neighbors returns v's neighbors in ascending order.
-func (g *G) Neighbors(v ident.NodeID) []ident.NodeID {
-	out := make([]ident.NodeID, 0, len(g.adj[v]))
-	for u := range g.adj[v] {
-		out = append(out, u)
+// NeighborsView returns v's neighbors in ascending order as a view of the
+// graph's internal storage: zero-copy, read-only, valid until the next
+// mutation of the graph. This is the flat-compare path incremental
+// observers diff neighborhoods with.
+func (g *G) NeighborsView(v ident.NodeID) []ident.NodeID {
+	i, ok := g.idx[v]
+	if !ok {
+		return nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return g.adj[i]
 }
 
 // AppendNeighbors appends v's neighbors in ascending order to buf and
 // returns the extended slice — the allocation-free variant of Neighbors
 // for per-round hot paths.
 func (g *G) AppendNeighbors(v ident.NodeID, buf []ident.NodeID) []ident.NodeID {
-	start := len(buf)
-	for u := range g.adj[v] {
-		buf = append(buf, u)
+	i, ok := g.idx[v]
+	if !ok {
+		return buf
 	}
-	tail := buf[start:]
-	sort.Slice(tail, func(i, j int) bool { return tail[i] < tail[j] })
-	return buf
+	return append(buf, g.adj[i]...)
 }
 
-// ForEachNeighbor calls fn for every neighbor of v, in unspecified
-// order — the zero-allocation iteration for order-insensitive hot paths
-// (BFS frontiers, commutative set hashes). AppendNeighbors is the
-// ordered variant.
+// ForEachNeighbor calls fn for every neighbor of v, in ascending order —
+// the zero-allocation iteration for hot paths (BFS frontiers, boundary
+// scans).
 func (g *G) ForEachNeighbor(v ident.NodeID, fn func(u ident.NodeID)) {
-	for u := range g.adj[v] {
+	i, ok := g.idx[v]
+	if !ok {
+		return
+	}
+	for _, u := range g.adj[i] {
 		fn(u)
 	}
 }
 
 // Degree returns the number of neighbors of v.
-func (g *G) Degree(v ident.NodeID) int { return len(g.adj[v]) }
+func (g *G) Degree(v ident.NodeID) int {
+	i, ok := g.idx[v]
+	if !ok {
+		return 0
+	}
+	return len(g.adj[i])
+}
 
 // BFSFrom returns the distance from src to every reachable node, optionally
 // restricted to the induced subgraph on `within` (nil means the whole
@@ -177,7 +386,7 @@ func (g *G) BFSFrom(src ident.NodeID, within map[ident.NodeID]bool) map[ident.No
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for u := range g.adj[v] {
+		for _, u := range g.adj[g.idx[v]] {
 			if within != nil && !within[u] {
 				continue
 			}
@@ -239,18 +448,17 @@ func (g *G) InducedConnected(x map[ident.NodeID]bool) bool {
 
 // Connected reports whether the whole graph is connected.
 func (g *G) Connected() bool {
-	nodes := g.Nodes()
-	if len(nodes) <= 1 {
+	if len(g.nodes) <= 1 {
 		return true
 	}
-	return len(g.BFSFrom(nodes[0], nil)) == len(nodes)
+	return len(g.BFSFrom(g.nodes[0], nil)) == len(g.nodes)
 }
 
 // Diameter returns the diameter of the whole graph (Infinity when
 // disconnected).
 func (g *G) Diameter() int {
-	set := make(map[ident.NodeID]bool, len(g.adj))
-	for v := range g.adj {
+	set := make(map[ident.NodeID]bool, len(g.nodes))
+	for _, v := range g.nodes {
 		set[v] = true
 	}
 	return g.InducedDiameter(set)
@@ -258,18 +466,13 @@ func (g *G) Diameter() int {
 
 // Equal reports whether two graphs have identical node and edge sets.
 func (g *G) Equal(o *G) bool {
-	if len(g.adj) != len(o.adj) {
+	if len(g.nodes) != len(o.nodes) || g.edges != o.edges {
 		return false
 	}
-	for v, nb := range g.adj {
-		onb, ok := o.adj[v]
-		if !ok || len(nb) != len(onb) {
+	for v, i := range g.idx {
+		j, ok := o.idx[v]
+		if !ok || !slices.Equal(g.adj[i], o.adj[j]) {
 			return false
-		}
-		for u := range nb {
-			if !onb[u] {
-				return false
-			}
 		}
 	}
 	return true
@@ -281,30 +484,37 @@ func (g *G) String() string {
 }
 
 // Restrict returns the subgraph induced by the nodes keep accepts, as a
-// deep copy in one pass (cheaper than Clone followed by RemoveNode per
-// excluded node, which re-walks every excluded node's adjacency).
+// deep copy in one pass. The kept adjacencies are filtered into a single
+// arena, so the restriction of a CSR graph is itself laid out flat.
 func (g *G) Restrict(keep func(ident.NodeID) bool) *G {
-	out := New()
-	for v, nb := range g.adj {
-		if !keep(v) {
-			continue
+	out := &G{idx: make(map[ident.NodeID]int32, len(g.nodes))}
+	total := 0
+	for i, v := range g.nodes {
+		if keep(v) {
+			out.ensure(v)
+			total += len(g.adj[i])
 		}
-		m := make(map[ident.NodeID]bool, len(nb))
-		for u := range nb {
-			if keep(u) {
-				m[u] = true
+	}
+	arena := make([]ident.NodeID, 0, total)
+	for oi, v := range out.nodes {
+		start := len(arena)
+		for _, u := range g.adj[g.idx[v]] {
+			if _, kept := out.idx[u]; kept {
+				arena = append(arena, u)
 			}
 		}
-		out.adj[v] = m
+		out.adj[oi] = arena[start:len(arena):len(arena)]
+		out.edges += len(out.adj[oi])
 	}
+	out.edges /= 2
 	return out
 }
 
 // NodeSet returns the nodes of g as a set, the shape the induced-subgraph
 // helpers take.
 func (g *G) NodeSet() map[ident.NodeID]bool {
-	out := make(map[ident.NodeID]bool, len(g.adj))
-	for v := range g.adj {
+	out := make(map[ident.NodeID]bool, len(g.nodes))
+	for _, v := range g.nodes {
 		out[v] = true
 	}
 	return out

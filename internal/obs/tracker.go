@@ -79,8 +79,7 @@ type nodeState struct {
 	view     []ident.NodeID // the node's own view, ascending (replaced, never mutated)
 	viewHash uint64         // commutative hash of view
 	selfIn   bool           // v ∈ view_v
-	nbrs     []ident.NodeID // neighborhood in the restricted graph (unordered)
-	nbrHash  uint64         // commutative hash of nbrs (change filter)
+	nbrs     []ident.NodeID // neighborhood in the restricted graph, ascending
 	grp      *group         // current Ω record
 	good     bool           // local agreement check holds (Ω = view)
 	born     int            // round the state was created (suppresses ΠC on arrival)
@@ -180,7 +179,6 @@ type trackerShard struct {
 	pairs     []pairEntry
 	extract   []ident.NodeID // extraction candidates (computed ∪ added)
 	vbuf      []ident.NodeID
-	nbuf      []ident.NodeID
 }
 
 type changeRec struct {
@@ -334,20 +332,14 @@ func (t *GroupTracker) Observe() RoundStats {
 			sh.degSum = 0
 			for _, v := range t.byShard[s] {
 				st := t.nodes[v]
-				sh.nbuf = sh.nbuf[:0]
-				h := uint64(0x9e3779b97f4a7c15)
-				g.ForEachNeighbor(v, func(u ident.NodeID) {
-					sh.nbuf = append(sh.nbuf, u)
-					h += mix(uint64(u) + 0x9e3779b97f4a7c15)
-				})
-				sh.degSum += len(sh.nbuf)
-				// The commutative hash filters the common unchanged case;
-				// an equal hash is confirmed by an exact set comparison
-				// (neighborhoods are tiny), so a collision costs a scan,
-				// never a missed change.
-				if h != st.nbrHash || !setEqualSmall(st.nbrs, sh.nbuf) {
-					st.nbrs = append(st.nbrs[:0], sh.nbuf...)
-					st.nbrHash = h
+				// The CSR graph serves the neighborhood as a sorted flat
+				// view of its internal storage, so the change filter is a
+				// plain slice compare against the (equally sorted) cache —
+				// no hash, no per-node re-extraction.
+				nb := g.NeighborsView(v)
+				sh.degSum += len(nb)
+				if !idsEqual(st.nbrs, nb) {
+					st.nbrs = append(st.nbrs[:0], nb...)
 					sh.topoDirty = append(sh.topoDirty, v)
 				}
 			}
@@ -855,26 +847,6 @@ func containsID(sorted []ident.NodeID, v ident.NodeID) bool {
 	return i < len(sorted) && sorted[i] == v
 }
 
-// setEqualSmall reports set equality of two small unordered slices with
-// no duplicates (linear scans — neighborhoods are tiny).
-func setEqualSmall(a, b []ident.NodeID) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for _, x := range b {
-		found := false
-		for _, y := range a {
-			if y == x {
-				found = true
-				break
-			}
-		}
-		if !found {
-			return false
-		}
-	}
-	return true
-}
 
 // subsetSorted reports a ⊆ b for ascending slices.
 func subsetSorted(a, b []ident.NodeID) bool {

@@ -33,19 +33,32 @@ type Channel interface {
 	DeliverSlot(txs []Tx, rng *rand.Rand) []Delivery
 }
 
+// BufferedChannel is the allocation-free variant: AppendDeliverSlot
+// appends the slot's deliveries to buf, letting a driver recycle one
+// delivery buffer across ticks. All channels in this package implement
+// it; the engine uses it when available.
+type BufferedChannel interface {
+	Channel
+	AppendDeliverSlot(txs []Tx, rng *rand.Rand, buf []Delivery) []Delivery
+}
+
 // Perfect delivers every reachable (sender, receiver) pair: no loss, no
 // collisions. The fair-channel hypothesis holds trivially.
 type Perfect struct{}
 
 // DeliverSlot implements Channel.
-func (Perfect) DeliverSlot(txs []Tx, _ *rand.Rand) []Delivery {
-	var out []Delivery
+func (p Perfect) DeliverSlot(txs []Tx, rng *rand.Rand) []Delivery {
+	return p.AppendDeliverSlot(txs, rng, nil)
+}
+
+// AppendDeliverSlot implements BufferedChannel.
+func (Perfect) AppendDeliverSlot(txs []Tx, _ *rand.Rand, buf []Delivery) []Delivery {
 	for _, tx := range txs {
 		for _, r := range tx.Receivers {
-			out = append(out, Delivery{From: tx.Sender, To: r})
+			buf = append(buf, Delivery{From: tx.Sender, To: r})
 		}
 	}
-	return out
+	return buf
 }
 
 // Lossy drops each reception independently with probability P, on top of
@@ -57,18 +70,30 @@ type Lossy struct {
 
 // DeliverSlot implements Channel.
 func (l Lossy) DeliverSlot(txs []Tx, rng *rand.Rand) []Delivery {
+	return l.AppendDeliverSlot(txs, rng, nil)
+}
+
+// AppendDeliverSlot implements BufferedChannel. The inner channel's
+// deliveries land in buf's tail and are filtered in place, so an inner
+// BufferedChannel keeps the whole path allocation-free.
+func (l Lossy) AppendDeliverSlot(txs []Tx, rng *rand.Rand, buf []Delivery) []Delivery {
 	inner := l.Inner
 	if inner == nil {
 		inner = Perfect{}
 	}
-	in := inner.DeliverSlot(txs, rng)
-	out := in[:0:0]
-	for _, d := range in {
+	start := len(buf)
+	if bc, ok := inner.(BufferedChannel); ok {
+		buf = bc.AppendDeliverSlot(txs, rng, buf)
+	} else {
+		buf = append(buf, inner.DeliverSlot(txs, rng)...)
+	}
+	kept := buf[:start]
+	for _, d := range buf[start:] {
 		if rng.Float64() >= l.P {
-			out = append(out, d)
+			kept = append(kept, d)
 		}
 	}
-	return out
+	return kept
 }
 
 // Collision implements the paper's interference model: a node receives
@@ -78,7 +103,13 @@ func (l Lossy) DeliverSlot(txs []Tx, rng *rand.Rand) []Delivery {
 type Collision struct{}
 
 // DeliverSlot implements Channel.
-func (Collision) DeliverSlot(txs []Tx, _ *rand.Rand) []Delivery {
+func (c Collision) DeliverSlot(txs []Tx, rng *rand.Rand) []Delivery {
+	return c.AppendDeliverSlot(txs, rng, nil)
+}
+
+// AppendDeliverSlot implements BufferedChannel (the interference maps are
+// still per-call: the channel itself is a stateless value).
+func (Collision) AppendDeliverSlot(txs []Tx, _ *rand.Rand, buf []Delivery) []Delivery {
 	sending := make(map[ident.NodeID]bool, len(txs))
 	heard := make(map[ident.NodeID]int)
 	for _, tx := range txs {
@@ -87,14 +118,13 @@ func (Collision) DeliverSlot(txs []Tx, _ *rand.Rand) []Delivery {
 			heard[r]++
 		}
 	}
-	var out []Delivery
 	for _, tx := range txs {
 		for _, r := range tx.Receivers {
 			if sending[r] || heard[r] > 1 {
 				continue
 			}
-			out = append(out, Delivery{From: tx.Sender, To: r})
+			buf = append(buf, Delivery{From: tx.Sender, To: r})
 		}
 	}
-	return out
+	return buf
 }

@@ -33,6 +33,14 @@ func shardOf(v ident.NodeID) int { return int(uint32(v) % numShards) }
 // cellKey addresses one grid cell.
 type cellKey struct{ cx, cy int }
 
+// cellNode is one grid occupant with its position inlined: the vicinity
+// scans read candidate positions from the cell list itself instead of
+// probing the position map per candidate.
+type cellNode struct {
+	id ident.NodeID
+	pt Point
+}
+
 // cellAt returns the cell containing p (floor division, so negative
 // coordinates hash consistently).
 func (w *World) cellAt(p Point) cellKey {
@@ -73,12 +81,12 @@ func (w *World) rebuildIndex() {
 		// keeps the grid well defined.
 		w.cellSize = 1
 	}
-	w.cells = make(map[cellKey][]ident.NodeID, len(w.pos))
+	w.cells = make(map[cellKey][]cellNode, len(w.pos))
 	w.cellOf = make(map[ident.NodeID]cellKey, len(w.pos))
 	for v, p := range w.pos {
 		k := w.cellAt(p)
 		w.cellOf[v] = k
-		w.cells[k] = append(w.cells[k], v)
+		w.cells[k] = append(w.cells[k], cellNode{id: v, pt: p})
 	}
 	w.wallCells = make(map[cellKey][]int, len(w.Walls))
 	for i, s := range w.Walls {
@@ -106,15 +114,15 @@ func (w *World) rebuildIndex() {
 func (w *World) gridInsert(v ident.NodeID, p Point) {
 	k := w.cellAt(p)
 	w.cellOf[v] = k
-	w.cells[k] = append(w.cells[k], v)
+	w.cells[k] = append(w.cells[k], cellNode{id: v, pt: p})
 }
 
 // gridRemove deletes v from cell k (swap-delete; cell lists are
 // unordered, every consumer either sorts its output or builds a set).
 func (w *World) gridRemove(v ident.NodeID, k cellKey) {
 	lst := w.cells[k]
-	for i, u := range lst {
-		if u == v {
+	for i := range lst {
+		if lst[i].id == v {
 			lst[i] = lst[len(lst)-1]
 			lst = lst[:len(lst)-1]
 			break
@@ -158,8 +166,9 @@ func (w *World) wallBlocked(pu, pv Point) bool {
 	return false
 }
 
-// gridEdge is one undirected link found by the sharded build.
-type gridEdge struct{ u, v ident.NodeID }
+// gridEdge is one undirected link found by the sharded build (the bulk
+// construction shape graph.FromEdges consumes).
+type gridEdge = graph.Edge
 
 // runShards applies fn to every shard: inline when Workers ≤ 1, else on
 // a pool of Workers goroutines with a static shard-to-worker assignment
@@ -211,36 +220,35 @@ func (w *World) buildSymmetricGraph(nodes []ident.NodeID) *graph.G {
 			k := w.cellOf[u]
 			for cx := k.cx - 1; cx <= k.cx+1; cx++ {
 				for cy := k.cy - 1; cy <= k.cy+1; cy++ {
-					for _, v := range w.cells[cellKey{cx, cy}] {
-						if v <= u {
+					for _, c := range w.cells[cellKey{cx, cy}] {
+						if c.id <= u {
 							continue
 						}
-						pv := w.pos[v]
 						r := ru
-						if rv := w.rangeOf(v); rv < r {
+						if rv := w.rangeOf(c.id); rv < r {
 							r = rv
 						}
-						if pu.Dist(pv) > r {
+						if pu.Dist(c.pt) > r {
 							continue
 						}
-						if w.wallBlocked(pu, pv) {
+						if w.wallBlocked(pu, c.pt) {
 							continue
 						}
-						edges = append(edges, gridEdge{u, v})
+						edges = append(edges, gridEdge{U: u, V: c.id})
 					}
 				}
 			}
 		}
 		w.shardEdges[s] = edges
 	})
-	g := graph.New()
-	for _, v := range nodes {
-		g.AddNode(v)
-	}
+	// Merge the shard edge lists in shard order (canonical at any worker
+	// count) and bulk-build the CSR graph: one arena instead of a map of
+	// maps assembled edge by edge. The previous graph's node index is
+	// reused when only positions moved (the common mobile tick).
+	all := w.edgeBuf[:0]
 	for s := range w.shardEdges {
-		for _, e := range w.shardEdges[s] {
-			g.AddEdge(e.u, e.v)
-		}
+		all = append(all, w.shardEdges[s]...)
 	}
-	return g
+	w.edgeBuf = all
+	return graph.FromEdgesShared(w.symGraph, nodes, all)
 }

@@ -13,6 +13,7 @@ package space
 
 import (
 	"math"
+	"slices"
 	"sort"
 
 	"repro/internal/graph"
@@ -68,10 +69,11 @@ type World struct {
 
 	// Spatial-hash index (grid.go). cells is nil until the first query
 	// builds it; dirty plus the txLen/walls fingerprints trigger
-	// structural rebuilds.
+	// structural rebuilds. Cell entries carry the node's position inline
+	// so the vicinity scans touch no per-candidate map.
 	cellSize  float64
 	maxRange  float64
-	cells     map[cellKey][]ident.NodeID
+	cells     map[cellKey][]cellNode
 	cellOf    map[ident.NodeID]cellKey
 	wallCells map[cellKey][]int
 	dirty     bool
@@ -83,6 +85,7 @@ type World struct {
 	// Sharded-build scratch and the generation-keyed graph cache.
 	shardNodes [numShards][]ident.NodeID
 	shardEdges [numShards][]gridEdge
+	edgeBuf    []gridEdge
 	symGraph   *graph.G
 	symGen     uint64
 }
@@ -140,6 +143,14 @@ func (w *World) Place(v ident.NodeID, p Point) {
 	if existed {
 		k := w.cellOf[v]
 		if k == w.cellAt(p) {
+			// Same cell: refresh the inline position.
+			lst := w.cells[k]
+			for i := range lst {
+				if lst[i].id == v {
+					lst[i].pt = p
+					break
+				}
+			}
 			return
 		}
 		w.gridRemove(v, k)
@@ -234,33 +245,41 @@ func (w *World) SymmetricGraph() *graph.G {
 // (sufficient because no TX range exceeds the cell size), so the cost is
 // O(local density · log), not O(n log n).
 func (w *World) Receivers(u ident.NodeID) []ident.NodeID {
+	return w.AppendReceivers(u, nil)
+}
+
+// AppendReceivers appends the receivers of u in ascending order to buf
+// and returns the extended slice — the allocation-free variant the
+// engine's build phase recycles its receiver buffers through. Safe for
+// concurrent use once the index is built (the engine calls it from
+// several workers; each passes its own buffer).
+func (w *World) AppendReceivers(u ident.NodeID, buf []ident.NodeID) []ident.NodeID {
 	w.validate()
 	pu, ok := w.pos[u]
 	if !ok {
-		return nil
+		return buf
 	}
 	r := w.rangeOf(u)
 	k := w.cellOf[u]
-	var out []ident.NodeID
+	start := len(buf)
 	for cx := k.cx - 1; cx <= k.cx+1; cx++ {
 		for cy := k.cy - 1; cy <= k.cy+1; cy++ {
-			for _, v := range w.cells[cellKey{cx, cy}] {
-				if v == u {
+			for _, c := range w.cells[cellKey{cx, cy}] {
+				if c.id == u {
 					continue
 				}
-				pv := w.pos[v]
-				if pu.Dist(pv) > r {
+				if pu.Dist(c.pt) > r {
 					continue
 				}
-				if w.wallBlocked(pu, pv) {
+				if w.wallBlocked(pu, c.pt) {
 					continue
 				}
-				out = append(out, v)
+				buf = append(buf, c.id)
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	slices.Sort(buf[start:])
+	return buf
 }
 
 // segmentsCross reports proper intersection between segments pq and ab

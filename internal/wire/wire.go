@@ -47,19 +47,24 @@ func Encode(m core.Message) []byte {
 	return AppendEncode(nil, m)
 }
 
-// AppendEncode serializes m, appending to dst.
+// AppendEncode serializes m, appending to dst. The frame layout is
+// unchanged from the map-era message representation: the flat records are
+// exploded back into the two priority sections and the quarantine
+// section, so frames interoperate across the representations and the E11
+// overhead numbers stay comparable.
 func AppendEncode(dst []byte, m core.Message) []byte {
 	dst = binary.LittleEndian.AppendUint16(dst, magic)
 	dst = append(dst, version)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(m.From))
 	dst = appendPrio(dst, m.GroupPrio)
 	dst = m.List.AppendBinary(dst)
-	dst = appendPrioMap(dst, m.Prios)
-	dst = appendPrioMap(dst, m.GroupPrios)
-	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(m.Quars)))
-	for _, id := range sortedIDs(m.Quars) {
+	prios, gprios, quars := m.PrioMaps()
+	dst = appendPrioMap(dst, prios)
+	dst = appendPrioMap(dst, gprios)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(quars)))
+	for _, id := range sortedIDs(quars) {
 		dst = binary.LittleEndian.AppendUint32(dst, uint32(id))
-		q := m.Quars[id]
+		q := quars[id]
 		if q < 0 {
 			q = 0
 		}
@@ -71,7 +76,9 @@ func AppendEncode(dst []byte, m core.Message) []byte {
 	return dst
 }
 
-// Decode parses a frame back into a protocol message.
+// Decode parses a frame back into a protocol message, rebuilding the
+// flat record slice (with each entry's list position) from the frame's
+// map-shaped sections.
 func Decode(buf []byte) (core.Message, error) {
 	var m core.Message
 	if len(buf) < 2+1+4 {
@@ -89,10 +96,11 @@ func Decode(buf []byte) (core.Message, error) {
 	if m.List, buf, err = antlist.DecodeList(buf); err != nil {
 		return m, fmt.Errorf("wire: list: %w", err)
 	}
-	if m.Prios, buf, err = readPrioMap(buf); err != nil {
+	var prios, gprios map[ident.NodeID]priority.P
+	if prios, buf, err = readPrioMap(buf); err != nil {
 		return m, err
 	}
-	if m.GroupPrios, buf, err = readPrioMap(buf); err != nil {
+	if gprios, buf, err = readPrioMap(buf); err != nil {
 		return m, err
 	}
 	if len(buf) < 2 {
@@ -103,15 +111,16 @@ func Decode(buf []byte) (core.Message, error) {
 	if len(buf) < nq*5 {
 		return m, ErrTruncated
 	}
-	m.Quars = make(map[ident.NodeID]int, nq)
+	quars := make(map[ident.NodeID]int, nq)
 	for i := 0; i < nq; i++ {
 		id := ident.NodeID(binary.LittleEndian.Uint32(buf))
-		m.Quars[id] = int(buf[4])
+		quars[id] = int(buf[4])
 		buf = buf[5:]
 	}
 	if len(buf) != 0 {
 		return m, fmt.Errorf("wire: %d trailing bytes", len(buf))
 	}
+	m.Recs = core.RecsFromMaps(m.List, prios, gprios, quars)
 	return m, nil
 }
 

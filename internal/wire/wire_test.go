@@ -15,21 +15,23 @@ import (
 )
 
 func sampleMessage() core.Message {
+	list := antlist.List{
+		antlist.NewSet(ident.Plain(3)),
+		antlist.NewSet(ident.Plain(1), ident.Single(2)),
+		antlist.NewSet(ident.Double(9)),
+	}
 	return core.Message{
 		From: 3,
-		List: antlist.List{
-			antlist.NewSet(ident.Plain(3)),
-			antlist.NewSet(ident.Plain(1), ident.Single(2)),
-			antlist.NewSet(ident.Double(9)),
-		},
-		Prios: map[ident.NodeID]priority.P{
-			1: {Clock: 7, ID: 1}, 2: {Clock: 9, ID: 2}, 3: {Clock: 2, ID: 3},
-		},
-		GroupPrios: map[ident.NodeID]priority.P{
-			1: {Clock: 2, ID: 3}, 3: {Clock: 2, ID: 3},
-		},
+		List: list,
+		Recs: core.RecsFromMaps(list,
+			map[ident.NodeID]priority.P{
+				1: {Clock: 7, ID: 1}, 2: {Clock: 9, ID: 2}, 3: {Clock: 2, ID: 3},
+			},
+			map[ident.NodeID]priority.P{
+				1: {Clock: 2, ID: 3}, 3: {Clock: 2, ID: 3},
+			},
+			map[ident.NodeID]int{1: 2}),
 		GroupPrio: priority.P{Clock: 2, ID: 3},
-		Quars:     map[ident.NodeID]int{1: 2},
 	}
 }
 
@@ -76,13 +78,15 @@ func TestRejectsBadMagicAndVersion(t *testing.T) {
 
 func TestQuarClamping(t *testing.T) {
 	m := sampleMessage()
-	m.Quars = map[ident.NodeID]int{1: 1000, 2: -3}
+	prios, gprios, _ := m.PrioMaps()
+	m.Recs = core.RecsFromMaps(m.List, prios, gprios, map[ident.NodeID]int{1: 1000, 2: -3})
 	got, err := Decode(Encode(m))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Quars[1] != 255 || got.Quars[2] != 0 {
-		t.Fatalf("clamping wrong: %v", got.Quars)
+	_, _, quars := got.PrioMaps()
+	if quars[1] != 255 || quars[2] != 0 {
+		t.Fatalf("clamping wrong: %v", quars)
 	}
 }
 
@@ -101,10 +105,12 @@ func TestQuickLiveMessagesRoundTrip(t *testing.T) {
 			if !got.List.Equal(m.List) || got.From != m.From || got.GroupPrio != m.GroupPrio {
 				return false
 			}
-			if !reflect.DeepEqual(normalize(got.Prios), normalize(m.Prios)) {
+			gp, gg, _ := got.PrioMaps()
+			mp, mg, _ := m.PrioMaps()
+			if !reflect.DeepEqual(normalize(gp), normalize(mp)) {
 				return false
 			}
-			if !reflect.DeepEqual(normalize(got.GroupPrios), normalize(m.GroupPrios)) {
+			if !reflect.DeepEqual(normalize(gg), normalize(mg)) {
 				return false
 			}
 		}
@@ -136,7 +142,8 @@ func TestEncodedSizeMatchesEstimate(t *testing.T) {
 		if diff < 0 {
 			diff = -diff
 		}
-		if diff > 16+len(m.Prios)*4+len(m.GroupPrios)*4 {
+		mp, mg, _ := m.PrioMaps()
+		if diff > 16+len(mp)*4+len(mg)*4 {
 			t.Fatalf("estimate %d vs frame %d too far apart", est, real)
 		}
 	}
