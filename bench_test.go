@@ -14,6 +14,7 @@ import (
 	"sort"
 	"testing"
 
+	"repro/internal/antlist"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/experiments"
@@ -575,4 +576,100 @@ func BenchmarkSpatialStepStats(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- antlist arena + delta-graph benchmarks (PR 5 trajectory: BENCH_antlist.json) ---
+
+// foldLists builds the message lists a settled grid-interior node folds
+// every compute: four neighbors, each advertising a 4-position list over
+// the same group (the BenchmarkCompute scenario at the antlist level).
+func foldLists() (owner ident.Entry, lists []antlist.List) {
+	mkSet := func(ids ...uint32) antlist.Set {
+		s := antlist.Set{}
+		for _, id := range ids {
+			s = s.Add(ident.Plain(ident.NodeID(id)))
+		}
+		return s
+	}
+	owner = ident.Plain(13)
+	for _, nb := range []uint32{8, 12, 14, 18} {
+		lists = append(lists, antlist.FromSets(
+			mkSet(nb), mkSet(7, 13, 17), mkSet(2, 6, 12, 22), mkSet(1, 3, 11, 21),
+		))
+	}
+	return owner, lists
+}
+
+// BenchmarkFold measures the per-compute ⊕ fold — the antlist machinery
+// the arena rewrite targets — on the recycled Builder (steady state: the
+// commit returns the previous allocation untouched) and on the retained
+// nested copy-on-write reference the pre-arena code ran. The allocs/op
+// column is the acceptance axis: the arena fold must allocate ≥5× less.
+func BenchmarkFold(b *testing.B) {
+	owner, lists := foldLists()
+	b.Run("arena-builder", func(b *testing.B) {
+		var bld antlist.Builder
+		var prev antlist.List
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bld.BeginRound(owner)
+			for _, l := range lists {
+				bld.Ant(l)
+			}
+			prev = bld.View().Publish(prev)
+		}
+		if prev.NodeCount() == 0 {
+			b.Fatal("empty fold")
+		}
+	})
+	b.Run("nested-reference", func(b *testing.B) {
+		var refs []antlist.RefList
+		for _, l := range lists {
+			refs = append(refs, l.Ref())
+		}
+		var out antlist.RefList
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out = antlist.RefList{antlist.Set{owner}}
+			for _, r := range refs {
+				out = out.Ant(r)
+			}
+		}
+		if out.NodeCount() == 0 {
+			b.Fatal("empty fold")
+		}
+	})
+}
+
+// BenchmarkIncrementalGraph measures mobile graph maintenance at n=20000
+// in the mostly-parked regime (2% of nodes move per rebuild): the
+// delta-incremental path (vicinity re-scan of the movers + ApplyDelta
+// CSR patch) against the full FromEdgesShared rebuild of the same world.
+// The acceptance criterion is delta < full at this scale.
+func BenchmarkIncrementalGraph(b *testing.B) {
+	const n = 20000
+	const movers = n / 50
+	run := func(b *testing.B, disable bool) {
+		w, m, ids := rwpWorld(n)
+		m.Init(w, ids, rand.New(rand.NewSource(1)))
+		w.Workers = 4
+		w.DisableDelta = disable
+		side := 2.7 * math.Sqrt(float64(n))
+		rng := rand.New(rand.NewSource(2))
+		if g := w.SymmetricGraph(); g.NumNodes() != n {
+			b.Fatal("bad graph")
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < movers; j++ {
+				v := ids[rng.Intn(n)]
+				w.Place(v, space.Point{X: rng.Float64() * side, Y: rng.Float64() * side})
+			}
+			if g := w.SymmetricGraph(); g.NumNodes() != n {
+				b.Fatal("bad graph")
+			}
+		}
+	}
+	b.Run("delta-patch", func(b *testing.B) { run(b, false) })
+	b.Run("full-rebuild", func(b *testing.B) { run(b, true) })
 }

@@ -37,7 +37,9 @@ func main() {
 			a, b := experiments.E7Scaling(*seeds)
 			return []*trace.Table{a, b}
 		}},
-		{"E7c", func() []*trace.Table { return []*trace.Table{experiments.E7cSpatialScale(*seeds)} }},
+		{"E7c", func() []*trace.Table {
+			return []*trace.Table{experiments.E7cSpatialScale(*seeds), experiments.E7cDeltaScale(*seeds)}
+		}},
 		{"E8", func() []*trace.Table {
 			return []*trace.Table{experiments.E8Lifetime(*seeds), experiments.E8bHeadLoss(*seeds)}
 		}},

@@ -37,6 +37,7 @@ func main() {
 	workers := flag.Int("workers", 4, "engine and tracker fan-out width")
 	join := flag.Float64("join", 0.1, "per-round probability of one node joining")
 	leave := flag.Float64("leave", 0.1, "per-round probability of one node leaving")
+	active := flag.Float64("active", 1, "fraction of nodes that move (in (0,1): commuter regime, exercises the delta-incremental graph; 1: classic all-moving waypoint)")
 	rounds := flag.Int("rounds", 100000, "rounds to simulate")
 	duration := flag.Duration("duration", 0, "wall-clock cap (0: none)")
 	stats := flag.String("stats", "", "stream per-round records to this file (.csv: CSV, else JSONL)")
@@ -54,10 +55,11 @@ func main() {
 		DT:        *dt,
 		Seed:      *seed,
 		Workers:   *workers,
-		JoinRate:  *join,
-		LeaveRate: *leave,
-		MaxRounds: *rounds,
-		Duration:  *duration,
+		JoinRate:       *join,
+		LeaveRate:      *leave,
+		ActiveFraction: *active,
+		MaxRounds:      *rounds,
+		Duration:       *duration,
 	}
 	if *stats != "" {
 		s, err := obs.OpenSink(*stats, *flush)

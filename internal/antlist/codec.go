@@ -15,16 +15,18 @@ import (
 //
 // The codec exists so the overhead experiments (E11) measure realistic
 // message sizes rather than in-memory struct sizes, and so the goroutine
-// runtime can exchange byte frames like a real radio would.
+// runtime can exchange byte frames like a real radio would. The frame
+// layout is unchanged from the nested representation; the encoder walks
+// the flat arena once, and the decoder assembles the arena directly.
 
 var errTruncated = errors.New("antlist: truncated frame")
 
 // AppendBinary appends the wire encoding of the list to dst.
 func (l List) AppendBinary(dst []byte) []byte {
-	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(l)))
-	for _, s := range l {
-		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(s)))
-		for _, e := range s {
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(l.Len()))
+	for i := 1; i < len(l.offs); i++ {
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(l.offs[i]-l.offs[i-1]))
+		for _, e := range l.ents[l.offs[i-1]:l.offs[i]] {
 			dst = binary.LittleEndian.AppendUint32(dst, uint32(e.ID))
 			dst = append(dst, byte(e.Mark))
 		}
@@ -37,48 +39,66 @@ func (l List) MarshalBinary() ([]byte, error) {
 	return l.AppendBinary(nil), nil
 }
 
-// EncodedSize returns the wire size in bytes without encoding.
+// EncodedSize returns the wire size in bytes without encoding — O(1) on
+// the flat form.
 func (l List) EncodedSize() int {
-	n := 2
-	for _, s := range l {
-		n += 2 + 5*len(s)
-	}
-	return n
+	return 2 + 2*l.Len() + 5*len(l.ents)
 }
 
 // DecodeList decodes a list from the front of buf, returning the list and
-// the remaining bytes. Sets are re-sorted defensively so a hostile frame
+// the remaining bytes. Each position is re-sorted and deduplicated
+// defensively (strongest mark wins, matching Set.Add) so a hostile frame
 // cannot violate Set invariants.
 func DecodeList(buf []byte) (List, []byte, error) {
 	if len(buf) < 2 {
-		return nil, buf, errTruncated
+		return List{}, buf, errTruncated
 	}
 	np := int(binary.LittleEndian.Uint16(buf))
 	buf = buf[2:]
 	if np > 1<<12 {
-		return nil, buf, fmt.Errorf("antlist: implausible position count %d", np)
+		return List{}, buf, fmt.Errorf("antlist: implausible position count %d", np)
 	}
-	out := make(List, 0, np)
+	out := List{offs: make([]int32, 1, np+1)}
 	for p := 0; p < np; p++ {
 		if len(buf) < 2 {
-			return nil, buf, errTruncated
+			return List{}, buf, errTruncated
 		}
 		ne := int(binary.LittleEndian.Uint16(buf))
 		buf = buf[2:]
 		if len(buf) < 5*ne {
-			return nil, buf, errTruncated
+			return List{}, buf, errTruncated
 		}
-		s := make(Set, 0, ne)
+		start := len(out.ents)
 		for e := 0; e < ne; e++ {
 			id := ident.NodeID(binary.LittleEndian.Uint32(buf))
 			mark := ident.Mark(buf[4])
 			if mark > ident.MarkDouble {
-				return nil, buf, fmt.Errorf("antlist: bad mark %d", mark)
+				return List{}, buf, fmt.Errorf("antlist: bad mark %d", mark)
 			}
 			buf = buf[5:]
-			s = s.Add(ident.Entry{ID: id, Mark: mark})
+			out.ents = insertEntry(out.ents, start, ident.Entry{ID: id, Mark: mark})
 		}
-		out = append(out, s)
+		out.offs = append(out.offs, int32(len(out.ents)))
 	}
 	return out, buf, nil
+}
+
+// insertEntry inserts e into the position subrange ents[start:], keeping
+// it ascending by ID; a duplicate ID keeps the strongest mark (the Set.Add
+// semantics the nested decoder applied entry by entry).
+func insertEntry(ents []ident.Entry, start int, e ident.Entry) []ident.Entry {
+	i := start
+	for ; i < len(ents); i++ {
+		if ents[i].ID >= e.ID {
+			break
+		}
+	}
+	if i < len(ents) && ents[i].ID == e.ID {
+		ents[i].Mark = ents[i].Mark.Max(e.Mark)
+		return ents
+	}
+	ents = append(ents, ident.Entry{})
+	copy(ents[i+1:], ents[i:])
+	ents[i] = e
+	return ents
 }

@@ -10,57 +10,124 @@ import (
 // holds the nodes believed to be at distance i from the owner; a0 is the
 // owner singleton. The zero value is the empty list (malformed; real lists
 // always have at least a0).
-type List []Set
+//
+// The representation is flat: one contiguous entry arena in position-major
+// order plus a set-offset slice (position i is ents[offs[i]:offs[i+1]]).
+// Compared to the previous slice-of-sets form this makes every whole-list
+// walk one linear scan, lets Truncate and tail-trimming reslice instead of
+// copy, and lets the fold run entirely inside a recycled Builder arena with
+// a single commit-time copy (see Builder). Lists are immutable once built;
+// At returns zero-copy views into the arena. The pre-arena nested form and
+// its operators are retained verbatim in reference.go (RefList) as the
+// differential oracle the Builder is fuzzed against.
+type List struct {
+	ents []ident.Entry
+	offs []int32 // len 0 (empty list) or Len()+1; offs[0] == 0 always
+}
+
+// singletonOffs is the shared offset slice of every one-position list.
+// Offset slices are never mutated, so all singletons alias it.
+var singletonOffs = []int32{0, 1}
 
 // Singleton returns the one-element list (id), i.e. a freshly reset owner
 // list, with the given mark on the entry. The paper writes (u) for a
 // single-marked kept sender and (u̿) for a double-marked incompatible one.
-func Singleton(e ident.Entry) List { return List{Set{e}} }
+func Singleton(e ident.Entry) List {
+	return List{ents: []ident.Entry{e}, offs: singletonOffs}
+}
+
+// FromSets builds a list from nested position sets (the construction shape
+// of tests and workload corruption; sets are copied into a fresh arena).
+// No invariant is enforced beyond each Set's own (sorted, unique IDs).
+func FromSets(sets ...Set) List {
+	if len(sets) == 0 {
+		return List{}
+	}
+	total := 0
+	for _, s := range sets {
+		total += len(s)
+	}
+	l := List{
+		ents: make([]ident.Entry, 0, total),
+		offs: make([]int32, 1, len(sets)+1),
+	}
+	for _, s := range sets {
+		l.ents = append(l.ents, s...)
+		l.offs = append(l.offs, int32(len(l.ents)))
+	}
+	return l
+}
 
 // Len returns the number of ancestor sets (s(list) in the paper's footnote:
 // number of elements). The last index — the paper's alternative reading of
 // s(), used by Prop. 13 — is Len()-1; see Ecc.
-func (l List) Len() int { return len(l) }
+func (l List) Len() int {
+	if len(l.offs) == 0 {
+		return 0
+	}
+	return len(l.offs) - 1
+}
 
 // Ecc returns the eccentricity encoded by the list: the index of the last
 // ancestor set (p for a list (a0..ap)), or -1 for an empty list.
-func (l List) Ecc() int { return len(l) - 1 }
+func (l List) Ecc() int { return l.Len() - 1 }
 
-// At returns the set at position i (list.i in the paper), or nil if out of
-// range.
+// At returns the set at position i (list.i in the paper) as a zero-copy
+// read-only view of the arena, or nil if out of range.
 func (l List) At(i int) Set {
-	if i < 0 || i >= len(l) {
+	if i < 0 || i >= l.Len() {
 		return nil
 	}
-	return l[i]
+	return Set(l.ents[l.offs[i]:l.offs[i+1]])
 }
+
+// Entries returns the whole arena — every entry in position-major order,
+// ascending by ID within a position — as a read-only view. Whole-list
+// consumers (view extraction, quarantine rebuild, the codec) iterate it
+// flat instead of walking positions.
+func (l List) Entries() []ident.Entry { return l.ents }
 
 // Owner returns the node at position 0, or ident.None for malformed lists.
 func (l List) Owner() ident.NodeID {
-	if len(l) == 0 || len(l[0]) == 0 {
+	if l.Len() == 0 || l.offs[1] == 0 {
 		return ident.None
 	}
-	return l[0][0].ID
+	return l.ents[0].ID
 }
 
-// Clone returns a deep copy of the list.
+// Clone returns a deep copy of the list, detached from any shared arena.
 func (l List) Clone() List {
-	if l == nil {
-		return nil
+	if l.Len() == 0 {
+		return List{}
 	}
-	out := make(List, len(l))
-	for i, s := range l {
-		out[i] = s.Clone()
+	out := List{
+		ents: make([]ident.Entry, len(l.ents)),
+		offs: make([]int32, len(l.offs)),
 	}
+	copy(out.ents, l.ents)
+	copy(out.offs, l.offs)
 	return out
+}
+
+// Publish returns an immutable list with the receiver's content: prev
+// itself when the content is identical (so unchanged rounds keep sharing
+// one allocation), else a fresh deep copy. This is the commit-time copy
+// detaching a Builder-backed view before it is stored or broadcast.
+func (l List) Publish(prev List) List {
+	if l.Equal(prev) {
+		return prev
+	}
+	return l.Clone()
 }
 
 // Position returns the smallest position at which id appears and the entry
 // there, or (-1, zero) if absent.
 func (l List) Position(id ident.NodeID) (int, ident.Entry) {
-	for i, s := range l {
-		if e, ok := s.Get(id); ok {
-			return i, e
+	for i := 0; i < l.Len(); i++ {
+		for _, e := range l.ents[l.offs[i]:l.offs[i+1]] {
+			if e.ID == id {
+				return i, e
+			}
 		}
 	}
 	return -1, ident.Entry{}
@@ -68,38 +135,82 @@ func (l List) Position(id ident.NodeID) (int, ident.Entry) {
 
 // Has reports whether id appears anywhere in the list, with any mark.
 func (l List) Has(id ident.NodeID) bool {
-	p, _ := l.Position(id)
-	return p >= 0
+	for _, e := range l.ents {
+		if e.ID == id {
+			return true
+		}
+	}
+	return false
 }
 
 // IDs returns all node IDs in the list, position by position, ascending
 // within a position.
 func (l List) IDs() []ident.NodeID {
-	var out []ident.NodeID
-	for _, s := range l {
-		out = append(out, s.IDs()...)
+	if len(l.ents) == 0 {
+		return nil
+	}
+	out := make([]ident.NodeID, len(l.ents))
+	for i, e := range l.ents {
+		out[i] = e.ID
 	}
 	return out
 }
 
 // NodeCount returns the total number of entries across all positions.
-func (l List) NodeCount() int {
-	n := 0
-	for _, s := range l {
-		n += len(s)
-	}
-	return n
-}
+func (l List) NodeCount() int { return len(l.ents) }
 
 // HasEmptySet reports whether any position holds an empty set (a malformed
 // list per the goodList test).
 func (l List) HasEmptySet() bool {
-	for _, s := range l {
-		if len(s) == 0 {
+	for i := 1; i < len(l.offs); i++ {
+		if l.offs[i] == l.offs[i-1] {
 			return true
 		}
 	}
 	return false
+}
+
+// rejectsAny reports whether keep rejects any entry of l — the shared
+// fast-path test of the filtering variants.
+func (l List) rejectsAny(keep func(ident.Entry) bool) bool {
+	for _, e := range l.ents {
+		if !keep(e) {
+			return true
+		}
+	}
+	return false
+}
+
+// appendFiltered appends l's kept entries to ents, positions in place
+// (possibly emptied), recording each position's end as an absolute index
+// into ents — the one filtering loop behind FilterEntries and
+// Builder.Filter.
+func appendFiltered(ents []ident.Entry, offs []int32, l List, keep func(ident.Entry) bool) ([]ident.Entry, []int32) {
+	for i := 0; i < l.Len(); i++ {
+		for _, e := range l.ents[l.offs[i]:l.offs[i+1]] {
+			if keep(e) {
+				ents = append(ents, e)
+			}
+		}
+		offs = append(offs, int32(len(ents)))
+	}
+	return ents, offs
+}
+
+// FilterEntries returns the list with only the entries keep accepts, every
+// position kept in place (possibly emptied). When nothing is rejected the
+// receiver itself is returned — the steady state of every per-compute
+// cleaning pass is allocation-free. The result is not normalized.
+func (l List) FilterEntries(keep func(ident.Entry) bool) List {
+	if !l.rejectsAny(keep) {
+		return l
+	}
+	out := List{
+		ents: make([]ident.Entry, 0, len(l.ents)-1),
+		offs: make([]int32, 1, len(l.offs)),
+	}
+	out.ents, out.offs = appendFiltered(out.ents, out.offs, l, keep)
+	return out
 }
 
 // DeleteMarkedExcept returns the list with every marked entry removed,
@@ -108,24 +219,32 @@ func (l List) HasEmptySet() bool {
 // on the receiver itself is the handshake signal). Positions left empty are
 // resolved by Normalize.
 func (l List) DeleteMarkedExcept(keep ident.NodeID) List {
-	out := make(List, 0, len(l))
-	for _, s := range l {
-		out = append(out, s.Filter(func(e ident.Entry) bool {
-			return !e.Mark.Marked() || e.ID == keep
-		}))
-	}
-	return out.Normalize()
+	return l.FilterEntries(func(e ident.Entry) bool {
+		return !e.Mark.Marked() || e.ID == keep
+	}).Normalize()
 }
 
 // Truncate returns the list cut to at most n positions (keeping a0..a(n-1)),
 // then normalized. Used by compute() line 28 to drop too-far ancestors.
+// The cut is a reslice of the (immutable) arena, not a copy.
 func (l List) Truncate(n int) List {
-	if len(l) <= n {
+	if l.Len() <= n {
 		return l
 	}
-	out := make(List, n)
-	copy(out, l[:n])
-	return out.Normalize()
+	if n <= 0 {
+		return List{}
+	}
+	return List{ents: l.ents[:l.offs[n]], offs: l.offs[:n+1]}.Normalize()
+}
+
+// prefixHas reports whether id appears before arena offset end.
+func (l List) prefixHas(id ident.NodeID, end int32) bool {
+	for _, e := range l.ents[:end] {
+		if e.ID == id {
+			return true
+		}
+	}
+	return false
 }
 
 // Normalize enforces the List invariants:
@@ -138,117 +257,142 @@ func (l List) Truncate(n int) List {
 // break the associativity of ⊕ (positions are distances; they must not
 // shift). The protocol handles them at reception instead — goodList rejects
 // any list containing an empty set, exactly as the paper specifies.
+//
+// Clean lists — every steady-state cleaning pass — return the receiver
+// itself, merely resliced past any empty tail. Small lists (one group's
+// worth of nodes, the overwhelmingly common case) use an allocation-free
+// quadratic prefix scan over the flat arena; past 32 entries — decoded
+// hostile frames, corrupted initial states — a seen-map pass keeps the
+// cost linear, exactly like the pre-arena implementation (RefList).
 func (l List) Normalize() List {
-	if l.NodeCount() <= 32 {
-		// Small lists — the overwhelmingly common case (a list holds at
-		// most one group's worth of nodes) — dedup by scanning the kept
-		// prefix positions: quadratic in principle, but allocation-free,
-		// where the map-based path pays a map per ⊕. Clean lists (every
-		// steady-state fold) return the receiver itself, merely resliced
-		// past any empty tail.
-		dirty := false
-	scan:
-		for i, s := range l {
-			for _, e := range s {
-				for _, prev := range l[:i] {
-					if prev.Has(e.ID) {
-						dirty = true
-						break scan
-					}
-				}
-			}
-		}
-		if !dirty {
-			return trimTail(l)
-		}
-		out := make(List, 0, len(l))
-		for _, s := range l {
-			kept := out
-			out = append(out, s.Filter(func(e ident.Entry) bool {
-				for _, prev := range kept {
-					if prev.Has(e.ID) {
-						return false
-					}
-				}
-				return true
-			}))
-		}
-		return trimTail(out)
+	if len(l.ents) > 32 {
+		return l.normalizeLarge()
 	}
-	out := make(List, 0, len(l))
-	seen := make(map[ident.NodeID]bool, l.NodeCount())
-	for _, s := range l {
-		out = append(out, s.Filter(func(e ident.Entry) bool {
-			if seen[e.ID] {
-				return false
+	for i := 1; i < l.Len(); i++ {
+		for _, e := range l.ents[l.offs[i]:l.offs[i+1]] {
+			if l.prefixHas(e.ID, l.offs[i]) {
+				return l.normalizeSlow()
 			}
-			seen[e.ID] = true
-			return true
-		}))
+		}
+	}
+	return trimTail(l)
+}
+
+// normalizeSlow rebuilds the list with cross-position duplicates dropped
+// (first occurrence kept, with the mark it has there) — the small-list
+// path, quadratic but allocation-bounded.
+func (l List) normalizeSlow() List {
+	out := List{
+		ents: make([]ident.Entry, 0, len(l.ents)),
+		offs: make([]int32, 1, len(l.offs)),
+	}
+	for i := 0; i < l.Len(); i++ {
+		for _, e := range l.ents[l.offs[i]:l.offs[i+1]] {
+			if !out.Has(e.ID) {
+				out.ents = append(out.ents, e)
+			}
+		}
+		out.offs = append(out.offs, int32(len(out.ents)))
+	}
+	return trimTail(out)
+}
+
+// normalizeLarge is Normalize for lists past the small-list bound: one
+// map pass detects duplicates, a second rebuilds if needed — O(n) where
+// the prefix scan would be O(n²) on a hostile 10⁴-entry frame.
+func (l List) normalizeLarge() List {
+	seen := make(map[ident.NodeID]bool, len(l.ents))
+	dirty := false
+	for _, e := range l.ents {
+		if seen[e.ID] {
+			dirty = true
+			break
+		}
+		seen[e.ID] = true
+	}
+	if !dirty {
+		return trimTail(l)
+	}
+	clear(seen)
+	out := List{
+		ents: make([]ident.Entry, 0, len(l.ents)),
+		offs: make([]int32, 1, len(l.offs)),
+	}
+	for i := 0; i < l.Len(); i++ {
+		for _, e := range l.ents[l.offs[i]:l.offs[i+1]] {
+			if !seen[e.ID] {
+				seen[e.ID] = true
+				out.ents = append(out.ents, e)
+			}
+		}
+		out.offs = append(out.offs, int32(len(out.ents)))
 	}
 	return trimTail(out)
 }
 
 // trimTail drops trailing empty sets (by reslicing — the backing array is
 // shared, which is safe for immutable lists), mapping the all-empty list
-// to nil.
+// to the zero List.
 func trimTail(l List) List {
-	for len(l) > 0 && len(l[len(l)-1]) == 0 {
-		l = l[:len(l)-1]
+	n := l.Len()
+	for n > 0 && l.offs[n] == l.offs[n-1] {
+		n--
 	}
-	if len(l) == 0 {
-		return nil
+	if n == 0 {
+		return List{}
 	}
-	return l
+	return List{ents: l.ents[:l.offs[n]], offs: l.offs[:n+1]}
 }
 
 // Merge is the ⊕ operator: position-wise union followed by normalization
 // (each node kept only at its smallest position, empty tail trimmed).
+// Cold-path convenience over the Builder; the fold uses a recycled Builder
+// directly.
 func (l List) Merge(o List) List {
-	n := len(l)
-	if len(o) > n {
-		n = len(o)
-	}
-	out := make(List, n)
-	for i := 0; i < n; i++ {
-		out[i] = l.At(i).Union(o.At(i))
-	}
-	return out.Normalize()
+	var b Builder
+	b.Load(l)
+	b.Merge(o)
+	return b.View().Clone()
 }
 
 // Shift is the r endomorphism: prepend an empty set, pushing every ancestor
-// one hop farther.
+// one hop farther. The arena is shared; only the offsets are rebuilt.
 func (l List) Shift() List {
-	out := make(List, 0, len(l)+1)
-	out = append(out, Set{})
-	out = append(out, l...)
-	return out
+	offs := make([]int32, 0, len(l.offs)+1)
+	offs = append(offs, 0, 0)
+	if l.Len() > 0 {
+		offs = append(offs, l.offs[1:]...)
+	}
+	return List{ents: l.ents, offs: offs}
 }
 
 // Ant is the r-operator ant(l, o) = l ⊕ r(o): fold a neighbor's list into
 // the local one, at one hop more. Equivalent to l.Merge(o.Shift()), but
 // merging with the shift as an index offset instead of materializing the
-// shifted copy — this runs once per (node, neighbor) per compute.
+// shifted copy. Cold-path convenience; the per-compute fold runs on a
+// recycled Builder (see Builder.Ant).
 func (l List) Ant(o List) List {
-	n := len(l)
-	if len(o)+1 > n {
-		n = len(o) + 1
-	}
-	out := make(List, n)
-	out[0] = l.At(0)
-	for i := 1; i < n; i++ {
-		out[i] = l.At(i).Union(o.At(i - 1))
-	}
-	return out.Normalize()
+	var b Builder
+	b.Load(l)
+	b.Ant(o)
+	return b.View().Clone()
 }
 
 // Equal reports whether two lists are identical (positions, IDs and marks).
+// Only positions 1..Len are compared — a zero-position list may carry
+// offs of length 0 or 1 (the zero List vs a decoded empty frame), and the
+// two must compare equal both ways.
 func (l List) Equal(o List) bool {
-	if len(l) != len(o) {
+	if l.Len() != o.Len() || len(l.ents) != len(o.ents) {
 		return false
 	}
-	for i := range l {
-		if !l[i].Equal(o[i]) {
+	for i := 1; i <= l.Len(); i++ {
+		if l.offs[i] != o.offs[i] {
+			return false
+		}
+	}
+	for i := range l.ents {
+		if l.ents[i] != o.ents[i] {
 			return false
 		}
 	}
@@ -259,11 +403,11 @@ func (l List) Equal(o List) bool {
 func (l List) String() string {
 	var b strings.Builder
 	b.WriteByte('(')
-	for i, s := range l {
+	for i := 0; i < l.Len(); i++ {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		b.WriteString(s.String())
+		b.WriteString(l.At(i).String())
 	}
 	b.WriteByte(')')
 	return b.String()

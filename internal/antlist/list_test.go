@@ -11,15 +11,15 @@ import (
 // mk builds a list from groups of plain IDs: mk([]uint32{4}, []uint32{2,1})
 // = ({n4},{n1,n2}).
 func mk(layers ...[]uint32) List {
-	l := make(List, len(layers))
+	sets := make([]Set, len(layers))
 	for i, layer := range layers {
 		s := Set{}
 		for _, v := range layer {
 			s = s.Add(ident.Plain(ident.NodeID(v)))
 		}
-		l[i] = s
+		sets[i] = s
 	}
-	return l
+	return FromSets(sets...)
 }
 
 func TestPaperMergeExample(t *testing.T) {
@@ -78,7 +78,7 @@ func TestAntSelfDedup(t *testing.T) {
 }
 
 func TestNormalizeTrimsTrailingEmpty(t *testing.T) {
-	l := List{NewSet(ident.Plain(1)), NewSet(ident.Plain(2)), Set{}}
+	l := FromSets(NewSet(ident.Plain(1)), NewSet(ident.Plain(2)), Set{})
 	got := l.Normalize()
 	if got.Len() != 2 {
 		t.Fatalf("Normalize = %v", got)
@@ -88,7 +88,7 @@ func TestNormalizeTrimsTrailingEmpty(t *testing.T) {
 func TestNormalizeKeepsIntermediateEmpty(t *testing.T) {
 	// An empty middle layer is kept in place (positions are distances);
 	// goodList rejects such lists at reception instead.
-	l := List{NewSet(ident.Plain(1)), Set{}, NewSet(ident.Plain(2))}
+	l := FromSets(NewSet(ident.Plain(1)), Set{}, NewSet(ident.Plain(2)))
 	got := l.Normalize()
 	if got.Len() != 3 || len(got.At(1)) != 0 || !got.At(2).Has(2) {
 		t.Fatalf("Normalize = %v", got)
@@ -100,7 +100,7 @@ func TestNormalizeKeepsIntermediateEmpty(t *testing.T) {
 
 func TestNormalizeDedupEmptiesLayerInPlace(t *testing.T) {
 	// Layer 1 contains only a node already at layer 0: it empties but stays.
-	l := List{NewSet(ident.Plain(1), ident.Plain(2)), NewSet(ident.Plain(2)), NewSet(ident.Plain(3))}
+	l := FromSets(NewSet(ident.Plain(1), ident.Plain(2)), NewSet(ident.Plain(2)), NewSet(ident.Plain(3)))
 	got := l.Normalize()
 	if got.Len() != 3 || len(got.At(1)) != 0 || !got.At(2).Has(3) {
 		t.Fatalf("Normalize = %v", got)
@@ -108,10 +108,10 @@ func TestNormalizeDedupEmptiesLayerInPlace(t *testing.T) {
 }
 
 func TestDeleteMarkedExcept(t *testing.T) {
-	l := List{
+	l := FromSets(
 		NewSet(ident.Plain(9)),
 		NewSet(ident.Single(1), ident.Plain(2), ident.Double(3)),
-	}
+	)
 	got := l.DeleteMarkedExcept(1)
 	if !got.At(1).Has(1) || !got.At(1).Has(2) || got.At(1).Has(3) {
 		t.Fatalf("DeleteMarkedExcept = %v", got)
@@ -144,13 +144,13 @@ func TestPositionAndOwner(t *testing.T) {
 	if p, _ := l.Position(42); p != -1 {
 		t.Fatalf("Position(42) = %d", p)
 	}
-	if List(nil).Owner() != ident.None {
+	if (List{}).Owner() != ident.None {
 		t.Fatal("empty list owner should be None")
 	}
 }
 
 func TestHasEmptySet(t *testing.T) {
-	l := List{NewSet(ident.Plain(1)), Set{}}
+	l := FromSets(NewSet(ident.Plain(1)), Set{})
 	if !l.HasEmptySet() {
 		t.Fatal("HasEmptySet should be true")
 	}
@@ -170,9 +170,34 @@ func TestNodeCountAndIDs(t *testing.T) {
 	}
 }
 
-func randomList(r *rand.Rand) List {
+func TestPublishSharesUnchanged(t *testing.T) {
+	var b Builder
+	b.Reset(ident.Plain(1))
+	b.Ant(mk([]uint32{2}, []uint32{3}))
+	prev := b.View().Publish(List{})
+	// Same fold again: Publish must hand back prev itself, not a copy.
+	b.Reset(ident.Plain(1))
+	b.Ant(mk([]uint32{2}, []uint32{3}))
+	got := b.View().Publish(prev)
+	if &got.ents[0] != &prev.ents[0] {
+		t.Fatal("Publish of unchanged content should return prev's storage")
+	}
+	// Changed fold: fresh storage, detached from the builder arena.
+	b.Reset(ident.Plain(1))
+	b.Ant(mk([]uint32{4}))
+	got2 := b.View().Publish(prev)
+	if got2.Equal(prev) {
+		t.Fatal("changed fold compared equal")
+	}
+	b.Reset(ident.Plain(9)) // clobber the arena
+	if !got2.Equal(mk([]uint32{1}, []uint32{4})) {
+		t.Fatalf("published list aliased the builder arena: %v", got2)
+	}
+}
+
+func randomSets(r *rand.Rand) []Set {
 	depth := 1 + r.Intn(4)
-	l := make(List, 0, depth)
+	sets := make([]Set, 0, depth)
 	next := uint32(1)
 	for i := 0; i < depth; i++ {
 		n := 1 + r.Intn(3)
@@ -181,10 +206,12 @@ func randomList(r *rand.Rand) List {
 			s = s.Add(ident.Entry{ID: ident.NodeID(next), Mark: ident.Mark(r.Intn(3))})
 			next++
 		}
-		l = append(l, s)
+		sets = append(sets, s)
 	}
-	return l
+	return sets
 }
+
+func randomList(r *rand.Rand) List { return FromSets(randomSets(r)...) }
 
 func TestQuickMergeIdempotentCommutative(t *testing.T) {
 	f := func(seed int64) bool {
@@ -231,15 +258,44 @@ func TestQuickNormalizeInvariants(t *testing.T) {
 		l := randomList(rr).Merge(randomList(rr))
 		// No duplicate IDs anywhere; no trailing empty layer.
 		seen := map[ident.NodeID]bool{}
-		for _, s := range l {
-			for _, e := range s {
-				if seen[e.ID] {
-					return false
-				}
-				seen[e.ID] = true
+		for _, e := range l.Entries() {
+			if seen[e.ID] {
+				return false
+			}
+			seen[e.ID] = true
+		}
+		return l.Len() == 0 || len(l.At(l.Len()-1)) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickArenaMatchesNestedReference replays random op sequences on the
+// Builder and on the retained nested reference and requires identical
+// results — the deterministic sibling of FuzzAntBuilder.
+func TestQuickArenaMatchesNestedReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		var b Builder
+		owner := ident.Plain(ident.NodeID(1 + rr.Intn(5)))
+		b.Reset(owner)
+		ref := RefList{Set{owner}}
+		for k := 0; k < 4; k++ {
+			o := randomList(rr)
+			if rr.Intn(2) == 0 {
+				b.Ant(o)
+				ref = ref.Ant(o.Ref())
+			} else {
+				b.Merge(o)
+				ref = ref.Merge(o.Ref())
+			}
+			if !b.View().Equal(ref.List()) {
+				return false
 			}
 		}
-		return len(l) == 0 || len(l[len(l)-1]) > 0
+		n := rr.Intn(5)
+		return b.View().Truncate(n).Equal(ref.Truncate(n).List())
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
@@ -247,11 +303,11 @@ func TestQuickNormalizeInvariants(t *testing.T) {
 }
 
 func TestCodecRoundTrip(t *testing.T) {
-	l := List{
+	l := FromSets(
 		NewSet(ident.Plain(1)),
 		NewSet(ident.Single(2), ident.Plain(3)),
 		NewSet(ident.Double(4)),
-	}
+	)
 	buf, err := l.MarshalBinary()
 	if err != nil {
 		t.Fatal(err)
@@ -293,5 +349,57 @@ func TestQuickCodecRoundTrip(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestEqualZeroPositionForms(t *testing.T) {
+	// A decoded zero-position frame carries offs=[0]; the zero List has no
+	// offs at all. The two must compare equal in both directions (the
+	// receiver-side iteration must not index the other's missing slot).
+	decoded, rest, err := DecodeList([]byte{0, 0})
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("decode: %v rest=%d", err, len(rest))
+	}
+	if decoded.Len() != 0 {
+		t.Fatalf("decoded = %v", decoded)
+	}
+	if !decoded.Equal(List{}) {
+		t.Fatal("decoded empty != zero List")
+	}
+	if !(List{}).Equal(decoded) {
+		t.Fatal("zero List != decoded empty")
+	}
+	if decoded.Equal(Singleton(ident.Plain(1))) || Singleton(ident.Plain(1)).Equal(decoded) {
+		t.Fatal("empty compared equal to a singleton")
+	}
+}
+
+func TestNormalizeLargeMatchesReference(t *testing.T) {
+	// Past the 32-entry small-list bound Normalize takes the seen-map
+	// path; it must match the nested reference bit for bit, clean and
+	// dirty, and the clean case must return the receiver's storage.
+	var sets []Set
+	next := uint32(1)
+	for p := 0; p < 12; p++ {
+		s := Set{}
+		for j := 0; j < 5; j++ {
+			s = s.Add(ident.Entry{ID: ident.NodeID(next), Mark: ident.Mark(next % 3)})
+			next++
+		}
+		sets = append(sets, s)
+	}
+	clean := FromSets(sets...)
+	if got := clean.Normalize(); !got.Equal(clean.Ref().Normalize().List()) {
+		t.Fatalf("clean large list: %v", got)
+	}
+	if got := clean.Normalize(); &got.ents[0] != &clean.ents[0] {
+		t.Fatal("clean large Normalize copied the arena")
+	}
+	// Duplicate a swath of early IDs into late positions.
+	dirtySets := append([]Set(nil), sets...)
+	dirtySets = append(dirtySets, sets[0], sets[3])
+	dirty := FromSets(dirtySets...)
+	if got, want := dirty.Normalize(), dirty.Ref().Normalize().List(); !got.Equal(want) {
+		t.Fatalf("dirty large list: %v vs %v", got, want)
 	}
 }

@@ -222,3 +222,95 @@ func TestGraphMatchesBruteForceReference(t *testing.T) {
 		}
 	}
 }
+
+// commuterScenario is the mostly-parked regime: 8% of the population
+// commutes (random waypoint), the rest stay parked, membership is fixed —
+// exactly the conditions under which space.SymmetricGraph patches the
+// previous CSR through graph.ApplyDelta on every round instead of
+// rebuilding. It pins the delta-incremental graph inside a whole engine.
+func commuterScenario(workers int, selfCheck bool) *engine.Engine {
+	w := space.NewWorld(2.5)
+	ids := make([]ident.NodeID, 150)
+	for i := range ids {
+		ids[i] = ident.NodeID(i + 1)
+	}
+	m := &mobility.Commuter{Side: 33, SpeedMin: 0.5, SpeedMax: 2, Pause: 1, ActiveFraction: 0.08}
+	topo := engine.NewSpatialTopology(w, m, 0.2, ids, rand.New(rand.NewSource(19)))
+	e := engine.New(engine.Params{Cfg: core.Config{Dmax: 3}, Seed: 19, Workers: workers}, topo)
+	if selfCheck {
+		for _, n := range e.Nodes {
+			n.SelfCheck = true
+		}
+	}
+	return e
+}
+
+// TestDeltaGraphMatchesBruteForceReference rebuilds the symmetric graph by
+// brute force on the map-of-maps reference every round of the commuter
+// scenario and asserts the engine's patched CSR matches — nodes, edges,
+// and every neighbor row.
+func TestDeltaGraphMatchesBruteForceReference(t *testing.T) {
+	e := commuterScenario(1, false)
+	w := e.Topo.(*engine.SpatialTopology).World
+	for r := 0; r < 50; r++ {
+		e.StepRound()
+		g := e.SnapshotGraph()
+		ref := graph.NewRef()
+		ids := w.Nodes()
+		for _, v := range ids {
+			ref.AddNode(v)
+		}
+		for i, u := range ids {
+			for _, v := range ids[i+1:] {
+				if w.CanReach(u, v) && w.CanReach(v, u) {
+					ref.AddEdge(u, v)
+				}
+			}
+		}
+		if !ref.SameAs(g) {
+			t.Fatalf("round %d: patched CSR diverged from brute-force reference: %s vs n=%d m=%d",
+				r+1, g, ref.NumNodes(), ref.NumEdges())
+		}
+		for _, v := range ref.Nodes() {
+			want := ref.Neighbors(v)
+			got := g.NeighborsView(v)
+			if len(want) != len(got) {
+				t.Fatalf("round %d: neighbor count of %v: %v vs %v", r+1, v, got, want)
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("round %d: neighbors of %v diverged: %v vs %v", r+1, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestDeltaGraphSeqAndParallelBitIdentical asserts the commuter scenario's
+// full record stream is bit-identical between the sequential and 4-worker
+// executions with the reference oracles armed — the delta patch path under
+// the same determinism contract as everything else.
+func TestDeltaGraphSeqAndParallelBitIdentical(t *testing.T) {
+	runC := func(workers int) []roundRec {
+		e := commuterScenario(workers, true)
+		tr := obs.NewGroupTracker(e)
+		recs := make([]roundRec, 0, 40)
+		for r := 0; r < 40; r++ {
+			e.StepRound()
+			st := tr.Observe()
+			sh, mh := hashRound(e)
+			recs = append(recs, roundRec{
+				StateHash: sh, MsgHash: mh, Stats: st,
+				Msgs: e.MessagesSent, Bytes: e.BytesSent, Delivs: e.Deliveries,
+			})
+		}
+		return recs
+	}
+	seq := runC(1)
+	par := runC(4)
+	for r := range seq {
+		if !reflect.DeepEqual(seq[r], par[r]) {
+			t.Fatalf("round %d diverged:\nseq: %+v\npar: %+v", r+1, seq[r], par[r])
+		}
+	}
+}

@@ -20,7 +20,10 @@
 // The compute phase is allocation-light: the round's checked senders live
 // in slice-backed scratch reused across computes (never maps rebuilt per
 // round), priority learning reads the flat Message.Recs records instead
-// of per-message maps, and the view/quarantine maps are double-buffered.
+// of per-message maps, the view/quarantine maps are double-buffered, and
+// the ancestor-list fold composes inside a recycled antlist.Builder arena
+// — a single commit-time copy publishes the immutable list, and a round
+// that leaves the list unchanged publishes nothing at all (see ComputeIn).
 // What may be retained across rounds is exactly the state whose content
 // the protocol defines (list, view, quarantine, priority caches) plus
 // scratch that is fully overwritten before use; everything reachable from
@@ -217,13 +220,16 @@ type Node struct {
 	// incsBuf holds the round's checked senders in preference order (the
 	// former workBuf map, now slice-backed: the map rebuild and the
 	// per-sender box were the protocol's top allocation sites at scale);
-	// heardBuf collects the round's inherited quarantines.
+	// heardBuf collects the round's inherited quarantines; bld is the
+	// fallback fold arena for drivers that call Compute instead of
+	// handing in their own recycled builder via ComputeIn.
 	viewSpare  []ident.NodeID
 	quarSpare  []quarEntry
 	priosSpare []prec
 	gprsSpare  []prec
 	incsBuf    []incoming
 	heardBuf   []heardRec
+	bld        antlist.Builder
 }
 
 // prioOf looks u up in the node-priority cache.
@@ -328,10 +334,13 @@ func (n *Node) GroupPriority() priority.P { return n.group }
 func (n *Node) Computes() uint64 { return n.computes }
 
 // Version returns a counter that increases whenever the node's observable
-// protocol state may have changed (every Compute and LoadState). The
-// outputs of BuildMessage, View and List are pure functions of the state
-// at a given version, which is what lets a driver cache the broadcast
-// between computes instead of re-assembling it on every send timer.
+// protocol state changed (a Compute that moved any of list, view,
+// quarantine, priority caches, self or group priority; every LoadState).
+// A Compute that reproduced the state exactly — the steady state of a
+// settled group — leaves it untouched. The outputs of BuildMessage, View
+// and List are pure functions of the state at a given version, which is
+// what lets a driver cache the broadcast across computes instead of
+// re-assembling it on every send timer.
 func (n *Node) Version() uint64 { return n.version }
 
 // ViewVersion returns a counter that increases only when the view's
@@ -435,8 +444,8 @@ func (n *Node) PendingMessages() int { return len(n.msgSet) }
 func (n *Node) BuildMessage() Message {
 	recs := make([]PrioRec, 0, n.list.NodeCount()+1)
 	selfSeen := false
-	for i, s := range n.list {
-		for _, e := range s {
+	for i := 0; i < n.list.Len(); i++ {
+		for _, e := range n.list.At(i) {
 			u := e.ID
 			r := PrioRec{
 				ID: u, Mark: e.Mark, Pos: int16(i), Quar: -1,
@@ -495,10 +504,25 @@ type incoming struct {
 }
 
 // Compute runs procedure compute() of §4.3 and then resets the message
-// buffer (line 5 of the main algorithm).
-func (n *Node) Compute() {
+// buffer (line 5 of the main algorithm), folding in the node's own arena
+// builder. Drivers that recycle a builder per node record (the engine)
+// call ComputeIn instead.
+func (n *Node) Compute() { n.ComputeIn(nil) }
+
+// ComputeIn is Compute with the fold arena supplied by the caller: the
+// whole ⊕ fold composes inside b (reset here; its previous content is
+// irrelevant), and only the commit at the end copies the result out — a
+// round that reproduces the current list byte for byte keeps the existing
+// allocation and, when nothing else observable moved either, leaves the
+// node's Version untouched so drivers keep their cached broadcast. A nil
+// builder uses the node's own.
+func (n *Node) ComputeIn(b *antlist.Builder) {
+	if b == nil {
+		b = &n.bld
+	}
 	n.computes++
 	dmax := n.cfg.Dmax
+	oldSelf, oldGroup := n.self, n.group
 
 	// Check order is a stable preference order, not plain ID order: view
 	// members first (their lists are never subject to the compatibility
@@ -552,12 +576,13 @@ func (n *Node) Compute() {
 	// committed from earlier senders is protected against later
 	// incompatible senders — this is what lets a lone node bridging two
 	// far-apart groups side with one of them instead of absorbing both
-	// and being punished by each in turn.
-	partial := antlist.Singleton(ident.Plain(n.id))
+	// and being punished by each in turn. The partial fold lives in the
+	// recycled builder arena; b.View() is a zero-copy read of it.
+	b.BeginRound(ident.Plain(n.id))
 	for i := range incs {
 		msg := &incs[i].msg
 		u := msg.From
-		lu := n.cleanReceived(msg.List)
+		lu := n.cleanReceived(b, msg.List)
 		switch {
 		case n.rejectedUntil(u) != 0:
 			// Boundary memory: the sender was recently rejected as
@@ -575,12 +600,12 @@ func (n *Node) Compute() {
 				n.trace("notgood %v: %v", u, msg.List)
 			}
 		case !n.inView(u):
-			qsafe, ok := n.safePrefix(u, partial, lu)
+			qsafe, ok := n.safePrefix(u, b.View(), lu)
 			if !ok || qsafe < foreignDepth(n, lu) {
 				// Line 7: u is denoted as an incompatible neighbor
 				// (after the debounce; see escalate).
 				if n.Tracer != nil {
-					n.trace("incompat %v: cleaned=%v partial=%v list=%v", u, lu, partial, n.list)
+					n.trace("incompat %v: cleaned=%v partial=%v list=%v", u, lu, b.View(), n.list)
 				}
 				lu = n.escalate(u)
 			} else {
@@ -590,11 +615,12 @@ func (n *Node) Compute() {
 			n.setStreak(u, 0)
 		}
 		incs[i].list = lu
-		partial = partial.Ant(lu)
+		b.Ant(lu)
 	}
 
-	// Lines 10–13: the fold of the checked lists (built above).
-	newList := holeTruncate(partial)
+	// Lines 10–13: the fold of the checked lists (built above). newList
+	// stays a view of the builder arena until the commit below.
+	newList := holeTruncate(b.View())
 
 	// Lines 14–29: removal of incoming lists containing too-far nodes.
 	if newList.Len() > dmax+1 {
@@ -618,7 +644,7 @@ func (n *Node) Compute() {
 				n.trace("contest won against %v: truncate", w.ID)
 			}
 		}
-		newList = n.fold(incs)
+		newList = n.fold(b, incs)
 		// Line 28: remaining too-far nodes did not have the priority.
 		newList = newList.Truncate(dmax + 1)
 	}
@@ -672,31 +698,29 @@ func (n *Node) Compute() {
 		// then sorted — same content the former map rebuild produced.
 		nq := n.quarSpare[:0]
 		selfAt := -1
-		for _, s := range newList {
-			for _, e := range s {
-				if e.Mark.Marked() {
-					continue
-				}
-				q, known := quarGet(n.quar, e.ID)
-				if !known {
-					q = dmax
-				} else if q > 0 {
-					q--
-				}
-				// The heard value was sampled before the peer's own
-				// decrement this round; inherit h-1 so both countdowns
-				// hit zero in the same round.
-				if h, ok := heardGet(heard, e.ID); ok && int(h)-1 < q {
-					q = int(h) - 1
-					if q < 0 {
-						q = 0
-					}
-				}
-				if e.ID == n.id {
-					selfAt = len(nq)
-				}
-				nq = append(nq, quarEntry{id: e.ID, q: int32(q)})
+		for _, e := range newList.Entries() {
+			if e.Mark.Marked() {
+				continue
 			}
+			q, known := quarGet(n.quar, e.ID)
+			if !known {
+				q = dmax
+			} else if q > 0 {
+				q--
+			}
+			// The heard value was sampled before the peer's own
+			// decrement this round; inherit h-1 so both countdowns
+			// hit zero in the same round.
+			if h, ok := heardGet(heard, e.ID); ok && int(h)-1 < q {
+				q = int(h) - 1
+				if q < 0 {
+					q = 0
+				}
+			}
+			if e.ID == n.id {
+				selfAt = len(nq)
+			}
+			nq = append(nq, quarEntry{id: e.ID, q: int32(q)})
 		}
 		if selfAt >= 0 {
 			nq[selfAt].q = 0
@@ -709,11 +733,11 @@ func (n *Node) Compute() {
 	} else {
 		nq := n.quarSpare[:0]
 		self := false
-		for _, u := range newList.IDs() {
-			if u == n.id {
+		for _, e := range newList.Entries() {
+			if e.ID == n.id {
 				self = true
 			}
-			nq = append(nq, quarEntry{id: u})
+			nq = append(nq, quarEntry{id: e.ID})
 		}
 		if !self {
 			nq = append(nq, quarEntry{id: n.id})
@@ -726,12 +750,10 @@ func (n *Node) Compute() {
 
 	// Line 31: the view is the plain-marked nodes with null quarantine.
 	nv := n.viewSpare[:0]
-	for _, s := range newList {
-		for _, e := range s {
-			if !e.Mark.Marked() && e.ID != n.id {
-				if q, _ := quarGet(n.quar, e.ID); q == 0 {
-					nv = append(nv, e.ID)
-				}
+	for _, e := range newList.Entries() {
+		if !e.Mark.Marked() && e.ID != n.id {
+			if q, _ := quarGet(n.quar, e.ID); q == 0 {
+				nv = append(nv, e.ID)
 			}
 		}
 	}
@@ -771,8 +793,16 @@ func (n *Node) Compute() {
 	}
 	n.storeSelfPrio()
 
-	n.list = newList
-	if !viewEqual(nv, n.view) {
+	// Commit: publish the fold out of the builder arena. A round that
+	// reproduced the current list keeps the existing allocation (the
+	// steady state of every settled group — the commit-time copy happens
+	// only when the list actually moved).
+	listChanged := !newList.Equal(n.list)
+	if listChanged {
+		n.list = newList.Clone()
+	}
+	viewChanged := !viewEqual(nv, n.view)
+	if viewChanged {
 		n.viewVer++
 	}
 	n.viewSpare = n.view
@@ -794,7 +824,19 @@ func (n *Node) Compute() {
 	n.msgSet = n.msgSet[:0]
 	clear(incs)
 	n.incsBuf = incs[:0]
-	n.version++
+
+	// Version moves only when the observable state did: every output of
+	// BuildMessage, View and List is a pure function of (list, view,
+	// quarantine, priority caches, self, group), so an unchanged round —
+	// the steady state — leaves the version alone and drivers keep serving
+	// their cached broadcast without re-assembling it. The double-buffer
+	// spares still hold the pre-round content, which makes the change
+	// checks plain slice compares.
+	if listChanged || viewChanged || n.self != oldSelf || n.group != oldGroup ||
+		!slices.Equal(n.quar, n.quarSpare) ||
+		!slices.Equal(n.prios, n.priosSpare) || !slices.Equal(n.gprs, n.gprsSpare) {
+		n.version++
+	}
 }
 
 // storeSelfPrio pins the node's own entry in the priority cache.
@@ -864,8 +906,8 @@ func (n *Node) escalate(u ident.NodeID) antlist.List {
 // compatibility bound.
 func foreignDepth(n *Node, lu antlist.List) int {
 	q := 0
-	for i, s := range lu {
-		for _, e := range s {
+	for i := 0; i < lu.Len(); i++ {
+		for _, e := range lu.At(i) {
 			if !e.Mark.Marked() && e.ID != n.id && !n.inView(e.ID) {
 				q = i
 				break
@@ -917,30 +959,17 @@ func (n *Node) reject(u ident.NodeID) {
 // by the sender and is deleted too, so that the good-list test fails and
 // the rejection is symmetric (Proposition 3's reading: after line 2 the
 // double-marked node no longer appears in the list it received).
-func (n *Node) cleanReceived(l antlist.List) antlist.List {
-	keep := func(e ident.Entry) bool {
-		return !e.Mark.Marked() || (e.ID == n.id && e.Mark == ident.MarkSingle)
-	}
-	// Fast path: interior nodes of a settled group receive all-plain
-	// lists, where the deletion pass keeps everything — and a sender's
-	// list is already normalized, so the whole call is the identity.
-	clean := true
-	for _, s := range l {
-		for _, e := range s {
-			if !keep(e) {
-				clean = false
-				break
-			}
-		}
-	}
-	if clean {
-		return l.Normalize()
-	}
-	out := make(antlist.List, 0, len(l))
-	for _, s := range l {
-		out = append(out, s.Filter(keep))
-	}
-	return out.Normalize()
+func (n *Node) cleanReceived(b *antlist.Builder, l antlist.List) antlist.List {
+	// Fast path inside Filter: interior nodes of a settled group receive
+	// all-plain lists, where the deletion pass keeps everything — and a
+	// sender's list is already normalized, so the whole call is the
+	// identity. A rejecting pass writes into the builder's round arena
+	// (the cleaned list lives exactly one compute), so even boundary
+	// traffic cleans without allocating.
+	id := n.id
+	return b.Filter(l, func(e ident.Entry) bool {
+		return !e.Mark.Marked() || (e.ID == id && e.Mark == ident.MarkSingle)
+	}).Normalize()
 }
 
 // goodList is the test of §4.3: the receiver (plain or single-marked)
@@ -996,19 +1025,16 @@ func (n *Node) goodList(from ident.NodeID, l antlist.List) bool {
 func (n *Node) safePrefix(from ident.NodeID, partial antlist.List, lu antlist.List) (int, bool) {
 	dmax := n.cfg.Dmax
 	p := 0 // deepest protected content
-	for i, s := range n.list {
-		for _, e := range s {
+	for i := 0; i < n.list.Len(); i++ {
+		for _, e := range n.list.At(i) {
 			if !e.Mark.Marked() && n.inView(e.ID) {
 				p = i
 				break
 			}
 		}
 	}
-	for i, s := range partial {
-		if i <= p {
-			continue
-		}
-		for _, e := range s {
+	for i := p + 1; i < partial.Len(); i++ {
+		for _, e := range partial.At(i) {
 			if !e.Mark.Marked() && e.ID != n.id && !lu.Has(e.ID) {
 				p = i
 				break
@@ -1033,11 +1059,39 @@ func (n *Node) safePrefix(from ident.NodeID, partial antlist.List, lu antlist.Li
 		// marked boundary neighbor in our layer must not veto the subset
 		// test. The sender itself is excluded too — mid-merge it already
 		// appears in our layer 1, and it cannot be required to be its
-		// own neighbor.
-		ai := n.list.At(i).Union(partial.At(i)).Filter(func(e ident.Entry) bool {
-			return !e.Mark.Marked() && e.ID != from
-		})
-		if i > 0 && (len(ai) == 0 || !ai.SubsetIDs(b1)) {
+		// own neighbor. The union of the two layers is streamed in merge
+		// order (both are ascending) against b1 instead of being
+		// materialized: same entries, same strongest-mark resolution on
+		// ID collisions, no per-level set allocation.
+		x, y := n.list.At(i), partial.At(i)
+		nonEmpty, witness := false, true
+		xi, yi, bj := 0, 0, 0
+		for xi < len(x) || yi < len(y) {
+			var e ident.Entry
+			switch {
+			case yi >= len(y) || (xi < len(x) && x[xi].ID < y[yi].ID):
+				e = x[xi]
+				xi++
+			case xi >= len(x) || y[yi].ID < x[xi].ID:
+				e = y[yi]
+				yi++
+			default:
+				e = ident.Entry{ID: x[xi].ID, Mark: x[xi].Mark.Max(y[yi].Mark)}
+				xi, yi = xi+1, yi+1
+			}
+			if e.Mark.Marked() || e.ID == from {
+				continue
+			}
+			nonEmpty = true
+			for bj < len(b1) && b1[bj].ID < e.ID {
+				bj++
+			}
+			if bj >= len(b1) || b1[bj].ID != e.ID {
+				witness = false
+				break
+			}
+		}
+		if i > 0 && (!nonEmpty || !witness) {
 			continue // no witness v' for the shortcut at this level
 		}
 		worst := 0
@@ -1138,13 +1192,14 @@ func (n *Node) lookupGroupPriority(u ident.NodeID, incs []incoming) priority.P {
 }
 
 // fold runs lines 24–27: listv ← (v), then ant over the checked incoming
-// lists in deterministic order, with hole truncation.
-func (n *Node) fold(incs []incoming) antlist.List {
-	out := antlist.Singleton(ident.Plain(n.id))
+// lists in deterministic order, with hole truncation. The fold composes in
+// the builder arena; the result is a view of it.
+func (n *Node) fold(b *antlist.Builder, incs []incoming) antlist.List {
+	b.Reset(ident.Plain(n.id))
 	for i := range incs {
-		out = out.Ant(incs[i].list)
+		b.Ant(incs[i].list)
 	}
-	return holeTruncate(out)
+	return holeTruncate(b.View())
 }
 
 // holeTruncate cuts a fold at its first empty layer: a hole means no
@@ -1154,8 +1209,8 @@ func (n *Node) fold(incs []incoming) antlist.List {
 // by every receiver's goodList anyway. The cut happens once, on final
 // folds — inside ⊕ it would break the operator's associativity.
 func holeTruncate(l antlist.List) antlist.List {
-	for i, s := range l {
-		if len(s) == 0 {
+	for i := 0; i < l.Len(); i++ {
+		if len(l.At(i)) == 0 {
 			return l.Truncate(i)
 		}
 	}
@@ -1190,16 +1245,38 @@ func (n *Node) learnPriorities(newList antlist.List, incs []incoming) {
 	np := n.priosSpare[:0]
 	ng := n.gprsSpare[:0]
 	selfSeen := false
-	for _, s := range newList {
-		for _, e := range s {
+	for i := 0; i < newList.Len(); i++ {
+		for _, e := range newList.At(i) {
 			u := e.ID
+			// One record lookup per (node, sender) feeds both folds: the
+			// node-priority max and the group-priority pick are each
+			// order-independent, so fusing the two passes (the former code
+			// scanned every sender's records twice per node) changes
+			// nothing but the scan count.
+			//
 			// Node priority: clocks are monotone, the freshest
 			// advertisement is the largest; fall back to the previous
 			// cache entry when nobody mentioned u this round.
+			// Group priority: the provider knowing u at the smallest list
+			// position wins (shortest witness chain), smallest sender ID
+			// breaking ties.
 			best, found := priority.Infinite, false
+			bestPos := -1
+			var bestSid ident.NodeID
+			var gbest priority.P
 			for i := range incs {
-				if r, ok := incs[i].msg.Rec(u); ok && r.HasPrio && (!found || best.Less(r.Prio)) {
+				r, ok := incs[i].msg.Rec(u)
+				if !ok {
+					continue
+				}
+				if r.HasPrio && (!found || best.Less(r.Prio)) {
 					best, found = r.Prio, true
+				}
+				if r.HasGroupPrio && r.Pos >= 0 {
+					sid := incs[i].msg.From
+					if bestPos < 0 || int(r.Pos) < bestPos || (int(r.Pos) == bestPos && sid < bestSid) {
+						bestPos, bestSid, gbest = int(r.Pos), sid, r.GroupPrio
+					}
 				}
 			}
 			if u == n.id {
@@ -1210,22 +1287,6 @@ func (n *Node) learnPriorities(newList antlist.List, incs []incoming) {
 			}
 			if found {
 				np = append(np, prec{id: u, p: best})
-			}
-			// Group priority: the provider knowing u at the smallest list
-			// position wins (shortest witness chain), smallest sender ID
-			// breaking ties.
-			bestPos := -1
-			var bestSid ident.NodeID
-			var gbest priority.P
-			for i := range incs {
-				r, ok := incs[i].msg.Rec(u)
-				if !ok || !r.HasGroupPrio || r.Pos < 0 {
-					continue
-				}
-				sid := incs[i].msg.From
-				if bestPos < 0 || int(r.Pos) < bestPos || (int(r.Pos) == bestPos && sid < bestSid) {
-					bestPos, bestSid, gbest = int(r.Pos), sid, r.GroupPrio
-				}
 			}
 			if bestPos < 0 {
 				if g, ok := precGet(n.gprs, u); ok {

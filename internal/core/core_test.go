@@ -65,8 +65,8 @@ func viewEq(got []ident.NodeID, want ...ident.NodeID) bool {
 // (the old boolean reading of the test): safePrefix covers everything.
 func compatibleAll(n *Node, partial, lu antlist.List) bool {
 	q := 0
-	for i, s := range lu {
-		for _, e := range s {
+	for i := 0; i < lu.Len(); i++ {
+		for _, e := range lu.At(i) {
 			if !e.Mark.Marked() && e.ID != n.id && !n.InView(e.ID) {
 				q = i
 				break
@@ -278,35 +278,35 @@ func TestGoodListRejects(t *testing.T) {
 		t.Fatal("singleton must not be good")
 	}
 	// Good: receiver plain at position 1.
-	good := antlist.List{antlist.NewSet(ident.Plain(2)), antlist.NewSet(ident.Plain(1))}
+	good := antlist.FromSets(antlist.NewSet(ident.Plain(2)), antlist.NewSet(ident.Plain(1)))
 	if !mk(good) {
 		t.Fatal("good list rejected")
 	}
 	// Good: receiver single-marked at position 1 (handshake signal).
-	goodMarked := antlist.List{antlist.NewSet(ident.Plain(2)), antlist.NewSet(ident.Single(1))}
+	goodMarked := antlist.FromSets(antlist.NewSet(ident.Plain(2)), antlist.NewSet(ident.Single(1)))
 	if !mk(goodMarked) {
 		t.Fatal("single-marked self must count")
 	}
 	// Receiver absent from position 1.
-	bad := antlist.List{antlist.NewSet(ident.Plain(2)), antlist.NewSet(ident.Plain(3))}
+	bad := antlist.FromSets(antlist.NewSet(ident.Plain(2)), antlist.NewSet(ident.Plain(3)))
 	if mk(bad) {
 		t.Fatal("list without receiver accepted")
 	}
 	// Too long: Dmax+2 positions.
-	long := antlist.List{
+	long := antlist.FromSets(
 		antlist.NewSet(ident.Plain(2)), antlist.NewSet(ident.Plain(1)),
 		antlist.NewSet(ident.Plain(3)), antlist.NewSet(ident.Plain(4)),
-	}
+	)
 	if mk(long) {
 		t.Fatal("too-long list accepted")
 	}
 	// Empty set inside.
-	holed := antlist.List{antlist.NewSet(ident.Plain(2)), antlist.NewSet(ident.Plain(1)), antlist.Set{}, antlist.NewSet(ident.Plain(4))}
+	holed := antlist.FromSets(antlist.NewSet(ident.Plain(2)), antlist.NewSet(ident.Plain(1)), antlist.Set{}, antlist.NewSet(ident.Plain(4)))
 	if mk(holed) {
 		t.Fatal("list with empty set accepted")
 	}
 	// Wrong owner.
-	wrongOwner := antlist.List{antlist.NewSet(ident.Plain(9)), antlist.NewSet(ident.Plain(1))}
+	wrongOwner := antlist.FromSets(antlist.NewSet(ident.Plain(9)), antlist.NewSet(ident.Plain(1)))
 	if mk(wrongOwner) {
 		t.Fatal("list owned by someone else accepted")
 	}
@@ -317,8 +317,8 @@ func TestDoubleMarkedSelfIsRejectedOnReception(t *testing.T) {
 	// must not find ourselves in the list → not good → symmetric
 	// ignorance (Proposition 3).
 	n := NewNode(1, Config{Dmax: 3})
-	l := antlist.List{antlist.NewSet(ident.Plain(2)), antlist.NewSet(ident.Double(1), ident.Plain(3))}
-	cleaned := n.cleanReceived(l)
+	l := antlist.FromSets(antlist.NewSet(ident.Plain(2)), antlist.NewSet(ident.Double(1), ident.Plain(3)))
+	cleaned := n.cleanReceived(&n.bld, l)
 	if cleaned.Has(1) {
 		t.Fatal("double-marked self must be deleted")
 	}
@@ -332,9 +332,9 @@ func TestCompatibleMarkedEntriesDoNotInflate(t *testing.T) {
 	// handshake entries must not count toward p/q, so the pair merges.
 	n := NewNode(2, Config{Dmax: 1})
 	n.LoadState(
-		antlist.List{antlist.NewSet(ident.Plain(2)), antlist.NewSet(ident.Single(1))},
+		antlist.FromSets(antlist.NewSet(ident.Plain(2)), antlist.NewSet(ident.Single(1))),
 		nil, nil, priority.New(2))
-	lu := antlist.List{antlist.NewSet(ident.Plain(1)), antlist.NewSet(ident.Single(2))}
+	lu := antlist.FromSets(antlist.NewSet(ident.Plain(1)), antlist.NewSet(ident.Single(2)))
 	if !compatibleAll(n, antlist.Singleton(ident.Plain(n.ID())), lu) {
 		t.Fatal("handshake marks must not block a Dmax=1 pair")
 	}
@@ -345,13 +345,13 @@ func TestCompatibleOwnMembersEchoedBackDoNotInflate(t *testing.T) {
 	// list echoes 1 and 2 back: the echo must not count toward q.
 	n := NewNode(2, Config{Dmax: 3})
 	n.LoadState(
-		antlist.List{antlist.NewSet(ident.Plain(2)), antlist.NewSet(ident.Plain(1))},
+		antlist.FromSets(antlist.NewSet(ident.Plain(2)), antlist.NewSet(ident.Plain(1))),
 		map[ident.NodeID]bool{1: true, 2: true}, nil, priority.New(2))
-	lu := antlist.List{
+	lu := antlist.FromSets(
 		antlist.NewSet(ident.Plain(3)),
 		antlist.NewSet(ident.Plain(2), ident.Plain(4)),
 		antlist.NewSet(ident.Plain(1)),
-	}
+	)
 	if !compatibleAll(n, antlist.Singleton(ident.Plain(n.ID())), lu) {
 		t.Fatal("echoed own members must not block the 2+2 merge at Dmax=3")
 	}
@@ -362,13 +362,13 @@ func TestCompatibleRejectsOversizedMerge(t *testing.T) {
 	// merged line diameter would be 4 → incompatible.
 	n := NewNode(2, Config{Dmax: 3})
 	n.LoadState(
-		antlist.List{antlist.NewSet(ident.Plain(2)), antlist.NewSet(ident.Plain(1))},
+		antlist.FromSets(antlist.NewSet(ident.Plain(2)), antlist.NewSet(ident.Plain(1))),
 		map[ident.NodeID]bool{1: true, 2: true}, nil, priority.New(2))
-	lu := antlist.List{
+	lu := antlist.FromSets(
 		antlist.NewSet(ident.Plain(3)),
 		antlist.NewSet(ident.Plain(2), ident.Plain(4)),
 		antlist.NewSet(ident.Plain(5)),
-	}
+	)
 	if compatibleAll(n, antlist.Singleton(ident.Plain(n.ID())), lu) {
 		t.Fatal("oversized merge accepted")
 	}
@@ -380,18 +380,18 @@ func TestCompatibleShortcutAcceptsViaLevelI(t *testing.T) {
 	// p+1+q = 6 > 4 → reject. With every node of a_v^2 a neighbor of the
 	// sender (i=2): worst = max_k min(k,|k-2|) = 1, 1+1+2 = 4 ≤ 4 →
 	// compatible.
-	own := antlist.List{
+	own := antlist.FromSets(
 		antlist.NewSet(ident.Plain(1)),
 		antlist.NewSet(ident.Plain(2)),
 		antlist.NewSet(ident.Plain(3)),
 		antlist.NewSet(ident.Plain(4)),
-	}
+	)
 	view := map[ident.NodeID]bool{1: true, 2: true, 3: true, 4: true}
-	lu := antlist.List{
+	lu := antlist.FromSets(
 		antlist.NewSet(ident.Plain(9)),
 		antlist.NewSet(ident.Plain(1), ident.Plain(3)), // neighbor of v and of a_v^2={3}
 		antlist.NewSet(ident.Plain(8)),
-	}
+	)
 	full := NewNode(1, Config{Dmax: 4})
 	full.LoadState(own, view, nil, priority.New(1))
 	if !compatibleAll(full, antlist.Singleton(ident.Plain(full.ID())), lu) {
@@ -408,10 +408,10 @@ func TestCompatibleLoneNodeAcceptsAnything(t *testing.T) {
 	// A node with no members behind it accepts any good list: overshoots
 	// land at the node itself and the too-far contest resolves them.
 	n := NewNode(1, Config{Dmax: 1})
-	lu := antlist.List{
+	lu := antlist.FromSets(
 		antlist.NewSet(ident.Plain(2)),
 		antlist.NewSet(ident.Plain(1), ident.Plain(3)),
-	}
+	)
 	if !compatibleAll(n, antlist.Singleton(ident.Plain(n.ID())), lu) {
 		t.Fatal("lone node must accept and let the contest arbitrate")
 	}
@@ -440,7 +440,7 @@ func TestBuildMessageCarriesPriorities(t *testing.T) {
 
 func TestLoadStateDefaults(t *testing.T) {
 	n := NewNode(1, Config{Dmax: 2})
-	l := antlist.List{antlist.NewSet(ident.Plain(1)), antlist.NewSet(ident.Plain(9))}
+	l := antlist.FromSets(antlist.NewSet(ident.Plain(1)), antlist.NewSet(ident.Plain(9)))
 	n.LoadState(l, nil, nil, priority.P{Clock: 5, ID: 1})
 	if !n.List().Equal(l) || !n.InView(1) || n.QuarantineOf(9) != 0 {
 		t.Fatalf("LoadState defaults wrong: %v", n)
@@ -489,11 +489,11 @@ func TestGhostNodeVanishes(t *testing.T) {
 	// Corrupt node 1 with a list naming a node that does not exist; the
 	// ghost must disappear (Proposition 2).
 	r := newRing(graph.Line(3), Config{Dmax: 3})
-	ghost := antlist.List{
+	ghost := antlist.FromSets(
 		antlist.NewSet(ident.Plain(1)),
 		antlist.NewSet(ident.Plain(99)),
 		antlist.NewSet(ident.Plain(98)),
-	}
+	)
 	r.nodes[1].LoadState(ghost, nil, nil, priority.New(1))
 	r.rounds(25)
 	for v, n := range r.nodes {
@@ -509,12 +509,12 @@ func TestGhostNodeVanishes(t *testing.T) {
 func TestOversizedCorruptListShrinks(t *testing.T) {
 	// Proposition 1: lists longer than Dmax+1 disappear after one compute.
 	n := NewNode(1, Config{Dmax: 2})
-	long := make(antlist.List, 8)
-	long[0] = antlist.NewSet(ident.Plain(1))
+	sets := make([]antlist.Set, 8)
+	sets[0] = antlist.NewSet(ident.Plain(1))
 	for i := 1; i < 8; i++ {
-		long[i] = antlist.NewSet(ident.Plain(ident.NodeID(10 + i)))
+		sets[i] = antlist.NewSet(ident.Plain(ident.NodeID(10 + i)))
 	}
-	n.LoadState(long, nil, nil, priority.New(1))
+	n.LoadState(antlist.FromSets(sets...), nil, nil, priority.New(1))
 	n.Compute()
 	if n.List().Len() > 3 {
 		t.Fatalf("list still oversized: %v", n.List())

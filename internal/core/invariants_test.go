@@ -129,8 +129,8 @@ func TestQuickInvariantsFromCorruptedStates(t *testing.T) {
 			n := NewNode(v, cfg)
 			// Random garbage list (may violate every invariant).
 			depth := 1 + rng.Intn(cfg.Dmax+4)
-			l := make(antlist.List, depth)
-			l[0] = antlist.NewSet(ident.Plain(v))
+			sets := make([]antlist.Set, depth)
+			sets[0] = antlist.NewSet(ident.Plain(v))
 			for i := 1; i < depth; i++ {
 				s := antlist.Set{}
 				for j := 0; j <= rng.Intn(3); j++ {
@@ -139,9 +139,9 @@ func TestQuickInvariantsFromCorruptedStates(t *testing.T) {
 						Mark: ident.Mark(rng.Intn(3)),
 					})
 				}
-				l[i] = s
+				sets[i] = s
 			}
-			n.LoadState(l, nil, nil, priority.P{Clock: rng.Uint64() % 1000, ID: v})
+			n.LoadState(antlist.FromSets(sets...), nil, nil, priority.P{Clock: rng.Uint64() % 1000, ID: v})
 			nodes[v] = n
 		}
 		for step := 0; step < 12; step++ {
@@ -173,7 +173,7 @@ func TestComputeNeverPanicsOnHostileMessages(t *testing.T) {
 	n := NewNode(1, Config{Dmax: 3})
 	for i := 0; i < 3000; i++ {
 		depth := rng.Intn(8)
-		l := make(antlist.List, depth)
+		sets := make([]antlist.Set, depth)
 		for p := 0; p < depth; p++ {
 			s := antlist.Set{}
 			for j := 0; j < rng.Intn(4); j++ {
@@ -182,8 +182,9 @@ func TestComputeNeverPanicsOnHostileMessages(t *testing.T) {
 					Mark: ident.Mark(rng.Intn(3)),
 				})
 			}
-			l[p] = s
+			sets[p] = s
 		}
+		l := antlist.FromSets(sets...)
 		m := Message{
 			From: ident.NodeID(2 + rng.Uint32()%4),
 			List: l,

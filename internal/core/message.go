@@ -155,8 +155,8 @@ func (m Message) PrioMaps() (prios, gprios map[ident.NodeID]priority.P, quars ma
 func RecsFromMaps(list antlist.List, prios, gprios map[ident.NodeID]priority.P, quars map[ident.NodeID]int) []PrioRec {
 	recs := make([]PrioRec, 0, list.NodeCount()+len(prios))
 	inList := make(map[ident.NodeID]bool, list.NodeCount())
-	for i, s := range list {
-		for _, e := range s {
+	for i := 0; i < list.Len(); i++ {
+		for _, e := range list.At(i) {
 			inList[e.ID] = true
 			r := PrioRec{ID: e.ID, Mark: e.Mark, Pos: int16(i), Quar: -1}
 			fillFromMaps(&r, prios, gprios, quars)

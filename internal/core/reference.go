@@ -36,8 +36,8 @@ func (n *Node) refBuildMessage() refMessage {
 	count := n.list.NodeCount() + 1
 	prios := make(map[ident.NodeID]priority.P, count)
 	gprios := make(map[ident.NodeID]priority.P, count)
-	for _, s := range n.list {
-		for _, e := range s {
+	for i := 0; i < n.list.Len(); i++ {
+		for _, e := range n.list.At(i) {
 			u := e.ID
 			if p, ok := precGet(n.prios, u); ok {
 				prios[u] = p
@@ -131,8 +131,8 @@ func refLearnPriorities(id ident.NodeID, self priority.P, newList antlist.List, 
 	}
 	sort.Slice(senders, func(i, j int) bool { return senders[i] < senders[j] })
 
-	for _, s := range newList {
-		for _, e := range s {
+	for li := 0; li < newList.Len(); li++ {
+		for _, e := range newList.At(li) {
 			u := e.ID
 			best, found := priority.Infinite, false
 			for _, sid := range senders {

@@ -37,6 +37,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"repro/internal/antlist"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/ident"
@@ -135,13 +136,15 @@ type cachedMsg struct {
 }
 
 // nodeRec consolidates the engine's per-node bookkeeping — the protocol
-// node, its timer phase, the cached broadcast and the cached receiver set
-// — into one record behind a single map lookup. The previous layout
-// (separate phase / message-cache / receiver-cache maps) paid three map
-// probes per sender per tick; the receiver cache is now invalidated in
-// O(1) by an epoch stamp instead of clearing 64 shard maps. A record's
-// mutable fields are only ever written by its own shard's worker (or by
-// the coordinator between phases), exactly like the maps they replace.
+// node, its timer phase, the cached broadcast, the cached receiver set and
+// the recycled fold arena — into one record behind a single map lookup.
+// The previous layout (separate phase / message-cache / receiver-cache
+// maps) paid three map probes per sender per tick; the receiver cache is
+// now invalidated in O(1) by an epoch stamp instead of clearing 64 shard
+// maps. A record's mutable fields are only ever written by its own shard's
+// worker (or by the coordinator between phases), exactly like the maps
+// they replace — the builder in particular is only touched by the record's
+// own Compute.
 type nodeRec struct {
 	n     *core.Node
 	phase int
@@ -150,6 +153,11 @@ type nodeRec struct {
 
 	recv      []ident.NodeID
 	recvEpoch uint64
+
+	// bld is the node's recycled antlist fold arena: every Compute of this
+	// record composes its ⊕ fold in here (core.Node.ComputeIn), so the
+	// per-round list machinery allocates only when a list actually changes.
+	bld antlist.Builder
 }
 
 // Engine is one running simulation.
@@ -484,7 +492,7 @@ func (e *Engine) Step() {
 	e.runShards(func(s int) {
 		for _, v := range cdue[s] {
 			if rec, ok := e.recs[v]; ok {
-				rec.n.Compute()
+				rec.n.ComputeIn(&rec.bld)
 				if e.dirtyOn {
 					e.dirtyComputed[s] = append(e.dirtyComputed[s], v)
 				}

@@ -14,11 +14,11 @@ func prio(id ident.NodeID) priority.P { return priority.New(id) }
 // pathList builds the ancestor list of the head of a path group: owner at
 // position 0, then one node per depth (IDs base+1, base+2, ...).
 func pathList(owner ident.NodeID, depth int, base uint32) antlist.List {
-	l := antlist.List{antlist.NewSet(plain(owner))}
+	sets := []antlist.Set{antlist.NewSet(plain(owner))}
 	for k := 1; k <= depth; k++ {
-		l = append(l, antlist.NewSet(plain(ident.NodeID(base+uint32(k)))))
+		sets = append(sets, antlist.NewSet(plain(ident.NodeID(base+uint32(k)))))
 	}
-	return l
+	return antlist.FromSets(sets...)
 }
 
 // pathListAndView builds a path group's list plus the matching full view.
@@ -39,8 +39,8 @@ func pathListAndView(owner ident.NodeID, depth int, base uint32) (antlist.List, 
 // only protects content *behind* the receiver, waves it through).
 func decideCompat(n *core.Node, lu antlist.List) bool {
 	q := 0
-	for i, s := range lu {
-		for _, e := range s {
+	for i := 0; i < lu.Len(); i++ {
+		for _, e := range lu.At(i) {
 			if !e.Mark.Marked() && e.ID != n.ID() && !n.InView(e.ID) {
 				q = i
 				break

@@ -83,18 +83,18 @@ func compatGadget(p, q, i, dmax int) (*graph.G, ident.NodeID, ident.NodeID, bool
 	// The sender's list: B as seen from u, with the receiver plain at
 	// position 1 (handshake done) and the shortcut witness visible in
 	// u's layer 1.
-	ul := pathList(u, q, 101)
-	l1 := ul.At(1)
+	uref := pathList(u, q, 101).Ref()
+	l1 := uref.At(1)
 	l1 = l1.Add(plain(v))
 	if i > 0 {
 		l1 = l1.Add(plain(ident.NodeID(i + 1)))
 	}
-	if ul.Len() < 2 {
-		ul = append(ul, l1)
+	if len(uref) < 2 {
+		uref = append(uref, l1)
 	} else {
-		ul[1] = l1
+		uref[1] = l1
 	}
-	return g, v, u, decideCompat(node, ul)
+	return g, v, u, decideCompat(node, uref.List())
 }
 
 // E6Continuity regenerates the Prop. 14 table: the best-effort contract

@@ -254,6 +254,7 @@ func All(seeds int) []*trace.Table {
 		E6Continuity(seeds),
 		e7a, e7b,
 		E7cSpatialScale(seeds, 1000, 5000),
+		E7cDeltaScale(seeds, 4000),
 		E8Lifetime(seeds),
 		E8bHeadLoss(seeds),
 		E9Loss(seeds),

@@ -190,8 +190,8 @@ func TestAllProducesEveryTable(t *testing.T) {
 		t.Skip("long")
 	}
 	tables := All(1)
-	if len(tables) != 18 {
-		t.Fatalf("tables = %d, want 18", len(tables))
+	if len(tables) != 19 {
+		t.Fatalf("tables = %d, want 19", len(tables))
 	}
 	for _, tb := range tables {
 		if len(tb.Rows) == 0 {
@@ -244,5 +244,22 @@ func TestE13bDenseMetastabilityAtScale(t *testing.T) {
 	g1, _ := strconv.ParseFloat(last[4], 64)
 	if g1 <= g0 {
 		t.Errorf("fragmentation did not grow with density: %v → %v groups", g0, g1)
+	}
+}
+
+func TestE7cDeltaScaleShape(t *testing.T) {
+	tb := E7cDeltaScale(1, 2000)
+	if len(tb.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	row := tb.Rows[0]
+	deg, _ := strconv.ParseFloat(row[1], 64)
+	if deg < 1 || deg > 8 {
+		t.Errorf("mean degree %v outside the constant-density band", deg)
+	}
+	tpsDelta, _ := strconv.ParseFloat(row[4], 64)
+	tpsFull, _ := strconv.ParseFloat(row[5], 64)
+	if tpsDelta <= 0 || tpsFull <= 0 {
+		t.Fatalf("throughput columns missing: %v", row)
 	}
 }

@@ -133,3 +133,59 @@ func E13bDense(seeds int) *trace.Table {
 	}
 	return tb
 }
+
+// E7cDeltaSizes is the default size series of the delta-graph sweep; 50000
+// is the scale ROADMAP flagged as needing incremental SymmetricGraph
+// updates. All() runs a reduced series; cmd/grpexp runs this one.
+var E7cDeltaSizes = []int{20000, 50000}
+
+// E7cDeltaScale extends the spatial sweep into the mostly-parked commuter
+// regime (5% of nodes drive random-waypoint journeys, the rest are
+// parked), where the spatial index's delta-incremental rebuild applies:
+// each tick re-scans only the movers' vicinities and patches the previous
+// CSR via graph.ApplyDelta instead of re-deriving every adjacency. Each
+// configuration is run twice from the same seed — delta enabled and
+// forced full rebuild — and both throughputs are reported; the protocol
+// columns come from the delta run (the graphs are identical, so the full
+// run would produce the same trace). ticks/s is host throughput for the
+// perf trajectory, not for reproducibility.
+func E7cDeltaScale(seeds int, sizes ...int) *trace.Table {
+	if len(sizes) == 0 {
+		sizes = E7cDeltaSizes
+	}
+	tb := trace.NewTable("E7cΔ — delta-incremental graph sweep (commuter RWP, 5% active, range 2.5, Dmax=3, 10 rounds)",
+		"n", "mean_degree", "groups", "grouped_pct", "ticks/s_delta", "ticks/s_full")
+	const rounds = 10
+	for _, n := range sizes {
+		degSum, groupSum, groupedSum := 0.0, 0.0, 0.0
+		tpsDelta, tpsFull := 0.0, 0.0
+		for seed := int64(1); seed <= int64(seeds); seed++ {
+			run := func(disable bool) (obs.RoundStats, float64) {
+				w := space.NewWorld(2.5)
+				w.DisableDelta = disable
+				m := &mobility.Commuter{Side: rwpSide(n), SpeedMin: 0.5, SpeedMax: 2,
+					Pause: 1, ActiveFraction: 0.05}
+				topo := engine.NewSpatialTopology(w, m, 0.2, idRange(n), rand.New(rand.NewSource(seed)))
+				s := engine.New(engine.Params{Cfg: core.Config{Dmax: 3}, Seed: seed, Workers: 4}, topo)
+				tr := obs.NewGroupTracker(s)
+				var st obs.RoundStats
+				t0 := time.Now()
+				for r := 0; r < rounds; r++ {
+					s.StepRound()
+					st = tr.Observe()
+				}
+				return st, float64(s.Tick()) / time.Since(t0).Seconds()
+			}
+			st, tps := run(false)
+			_, tpsF := run(true)
+			tpsDelta += tps
+			tpsFull += tpsF
+			degSum += 2 * float64(st.Edges) / float64(n)
+			groupSum += float64(st.Groups)
+			groupedSum += 100 * float64(n-st.Singletons) / float64(n)
+		}
+		f := float64(seeds)
+		tb.AddRow(n, degSum/f, groupSum/f, groupedSum/f, tpsDelta/f, tpsFull/f)
+	}
+	return tb
+}

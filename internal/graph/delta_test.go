@@ -1,0 +1,260 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ident"
+)
+
+// deltaWorld is a little harness: a symmetric edge-presence table over n
+// nodes from which both the bulk-built graph and ApplyDelta updates are
+// derived, so the patched result can always be checked against a
+// from-scratch build.
+type deltaWorld struct {
+	n     int
+	nodes []ident.NodeID
+	edge  map[[2]ident.NodeID]bool
+}
+
+func newDeltaWorld(n int) *deltaWorld {
+	w := &deltaWorld{n: n, edge: map[[2]ident.NodeID]bool{}}
+	for i := 1; i <= n; i++ {
+		w.nodes = append(w.nodes, ident.NodeID(i))
+	}
+	return w
+}
+
+func (w *deltaWorld) key(u, v ident.NodeID) [2]ident.NodeID {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]ident.NodeID{u, v}
+}
+
+func (w *deltaWorld) set(u, v ident.NodeID, on bool) { w.edge[w.key(u, v)] = on }
+
+func (w *deltaWorld) edges() []Edge {
+	var out []Edge
+	for k, on := range w.edge {
+		if on {
+			out = append(out, Edge{U: k[0], V: k[1]})
+		}
+	}
+	return out
+}
+
+func (w *deltaWorld) build() *G { return FromEdges(w.nodes, w.edges()) }
+
+// adjOf derives u's full ascending adjacency from the table.
+func (w *deltaWorld) adjOf(u ident.NodeID) []ident.NodeID {
+	var out []ident.NodeID
+	for _, v := range w.nodes {
+		if v != u && w.edge[w.key(u, v)] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func (w *deltaWorld) updatesFor(dirty []ident.NodeID) []NodeAdj {
+	out := make([]NodeAdj, 0, len(dirty))
+	for _, u := range dirty {
+		out = append(out, NodeAdj{Node: u, Adj: w.adjOf(u)})
+	}
+	return out
+}
+
+func TestApplyDeltaMatchesFromScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	w := newDeltaWorld(30)
+	for i := 0; i < 80; i++ {
+		u := w.nodes[rng.Intn(w.n)]
+		v := w.nodes[rng.Intn(w.n)]
+		if u != v {
+			w.set(u, v, true)
+		}
+	}
+	prev := w.build()
+	for round := 0; round < 60; round++ {
+		// Flip a few pair states around a small dirty set.
+		dirtySet := map[ident.NodeID]bool{}
+		k := 1 + rng.Intn(4)
+		for i := 0; i < k; i++ {
+			dirtySet[w.nodes[rng.Intn(w.n)]] = true
+		}
+		for u := range dirtySet {
+			for j := 0; j < 3; j++ {
+				v := w.nodes[rng.Intn(w.n)]
+				if v != u {
+					w.set(u, v, rng.Intn(2) == 0)
+				}
+			}
+		}
+		var dirty []ident.NodeID
+		for u := range dirtySet {
+			dirty = append(dirty, u)
+		}
+		// The dirty set must cover every endpoint whose row changed: a
+		// flipped pair (u,v) with v clean is mirrored by ApplyDelta, but
+		// v's row derives from u's update, so only u needs to be dirty.
+		got := ApplyDelta(prev, w.updatesFor(dirty))
+		want := w.build()
+		if !got.Equal(want) {
+			t.Fatalf("round %d: patched %v vs scratch %v", round, got, want)
+		}
+		if got.NumEdges() != want.NumEdges() {
+			t.Fatalf("round %d: edge count %d vs %d", round, got.NumEdges(), want.NumEdges())
+		}
+		for _, v := range w.nodes {
+			a, b := got.NeighborsView(v), want.NeighborsView(v)
+			if len(a) != len(b) {
+				t.Fatalf("round %d: row %v: %v vs %v", round, v, a, b)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("round %d: row %v: %v vs %v", round, v, a, b)
+				}
+			}
+		}
+		prev = got
+	}
+}
+
+func TestApplyDeltaLeavesPrevIntact(t *testing.T) {
+	w := newDeltaWorld(8)
+	w.set(1, 2, true)
+	w.set(2, 3, true)
+	w.set(3, 4, true)
+	prev := w.build()
+	snapshot := prev.Clone()
+
+	w.set(2, 3, false)
+	w.set(2, 5, true)
+	g := ApplyDelta(prev, w.updatesFor([]ident.NodeID{2}))
+	if !prev.Equal(snapshot) {
+		t.Fatal("ApplyDelta mutated prev")
+	}
+	if g.HasEdge(2, 3) || !g.HasEdge(2, 5) || !g.HasEdge(1, 2) {
+		t.Fatalf("patched graph wrong: %v", g.NeighborsView(2))
+	}
+
+	// COW: mutating the patched graph must not leak into prev, and vice
+	// versa — including rows the delta shared untouched.
+	g.RemoveEdge(3, 4)
+	g.AddEdge(6, 7)
+	if !prev.Equal(snapshot) {
+		t.Fatal("mutating the patched graph corrupted prev")
+	}
+	prev.RemoveEdge(1, 2)
+	if g.HasEdge(1, 2) != true {
+		t.Fatal("mutating prev leaked into the patched graph")
+	}
+}
+
+func TestApplyDeltaEmptyUpdates(t *testing.T) {
+	w := newDeltaWorld(5)
+	w.set(1, 2, true)
+	prev := w.build()
+	g := ApplyDelta(prev, nil)
+	if !g.Equal(prev) {
+		t.Fatal("empty delta changed the graph")
+	}
+	if g == prev {
+		t.Fatal("empty delta must still return a fresh graph (generation contract)")
+	}
+}
+
+func TestApplyDeltaPanicsOnViolations(t *testing.T) {
+	w := newDeltaWorld(4)
+	w.set(1, 2, true)
+	prev := w.build()
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("unknown node", func() {
+		ApplyDelta(prev, []NodeAdj{{Node: 99}})
+	})
+	expectPanic("unknown neighbor", func() {
+		ApplyDelta(prev, []NodeAdj{{Node: 1, Adj: []ident.NodeID{99}}})
+	})
+	expectPanic("self loop", func() {
+		ApplyDelta(prev, []NodeAdj{{Node: 1, Adj: []ident.NodeID{1}}})
+	})
+	expectPanic("unsorted", func() {
+		ApplyDelta(prev, []NodeAdj{{Node: 1, Adj: []ident.NodeID{3, 2}}})
+	})
+	expectPanic("duplicate update", func() {
+		ApplyDelta(prev, []NodeAdj{{Node: 1}, {Node: 1}})
+	})
+}
+
+// FuzzApplyDelta drives random base graphs and random consistent dirty-set
+// updates and requires the patched CSR to equal a from-scratch FromEdges
+// build of the mutated edge table — rows, edge counts, and the
+// untouchability of prev included.
+func FuzzApplyDelta(f *testing.F) {
+	f.Add(int64(1), uint8(8), uint8(3))
+	f.Add(int64(42), uint8(20), uint8(1))
+	f.Add(int64(-9), uint8(3), uint8(7))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, churn uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(nRaw%24)
+		w := newDeltaWorld(n)
+		for i := 0; i < 3*n; i++ {
+			u := w.nodes[rng.Intn(n)]
+			v := w.nodes[rng.Intn(n)]
+			if u != v {
+				w.set(u, v, rng.Intn(3) > 0)
+			}
+		}
+		prev := w.build()
+		snapshot := prev.Clone()
+
+		dirtySet := map[ident.NodeID]bool{}
+		for i := 0; i <= int(churn%5); i++ {
+			dirtySet[w.nodes[rng.Intn(n)]] = true
+		}
+		for u := range dirtySet {
+			for j := 0; j < 1+rng.Intn(4); j++ {
+				v := w.nodes[rng.Intn(n)]
+				if v != u {
+					w.set(u, v, rng.Intn(2) == 0)
+				}
+			}
+		}
+		var dirty []ident.NodeID
+		for _, v := range w.nodes { // ascending, deterministic
+			if dirtySet[v] {
+				dirty = append(dirty, v)
+			}
+		}
+		got := ApplyDelta(prev, w.updatesFor(dirty))
+		want := w.build()
+		if !got.Equal(want) {
+			t.Fatalf("patched %v vs scratch %v (dirty %v)", got, want, dirty)
+		}
+		if !prev.Equal(snapshot) {
+			t.Fatal("ApplyDelta mutated prev")
+		}
+		// Chained delta over the patched result must also hold up.
+		if len(dirty) > 0 {
+			u := dirty[0]
+			for j := 0; j < 2; j++ {
+				v := w.nodes[rng.Intn(n)]
+				if v != u {
+					w.set(u, v, rng.Intn(2) == 0)
+				}
+			}
+			got2 := ApplyDelta(got, w.updatesFor(dirty[:1]))
+			if want2 := w.build(); !got2.Equal(want2) {
+				t.Fatalf("chained patch %v vs scratch %v", got2, want2)
+			}
+		}
+	})
+}

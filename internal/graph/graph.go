@@ -47,6 +47,11 @@ type G struct {
 	// private copy.
 	sharedIdx bool
 
+	// cowAdj marks the adjacency rows as shared with another graph
+	// (ApplyDelta); any edge mutation first privatizes every row
+	// (unshareAdj in delta.go).
+	cowAdj bool
+
 	edges int
 	gen   uint64
 }
@@ -151,7 +156,9 @@ func (g *G) ensure(v ident.NodeID) int32 {
 }
 
 // unshareIdx takes a private copy of a roster shared via FromEdgesShared
-// before the first node mutation.
+// or ApplyDelta before the first node mutation. The sorted-roster cache
+// may be shared too (ApplyDelta); it is detached rather than copied so the
+// next roster() rebuild cannot scribble over the sibling's cache.
 func (g *G) unshareIdx() {
 	if !g.sharedIdx {
 		return
@@ -162,6 +169,7 @@ func (g *G) unshareIdx() {
 	}
 	g.idx = idx
 	g.nodes = slices.Clone(g.nodes)
+	g.sorted, g.sortedOK = nil, false
 	g.sharedIdx = false
 }
 
@@ -206,6 +214,7 @@ func (g *G) RemoveNode(v ident.NodeID) {
 		return
 	}
 	g.unshareIdx()
+	g.unshareAdj()
 	for _, u := range g.adj[i] {
 		g.dropHalf(g.idx[u], v)
 		g.edges--
@@ -239,6 +248,7 @@ func (g *G) AddEdge(u, v ident.NodeID) {
 		return
 	}
 	g.gen++
+	g.unshareAdj()
 	iu := g.ensure(u)
 	iv := g.ensure(v)
 	if !insertSorted(&g.adj[iu], v) {
@@ -273,6 +283,7 @@ func (g *G) RemoveEdge(u, v ident.NodeID) {
 	if _, found := slices.BinarySearch(g.adj[iu], v); !found {
 		return
 	}
+	g.unshareAdj()
 	g.dropHalf(iu, v)
 	g.dropHalf(iv, u)
 	g.edges--

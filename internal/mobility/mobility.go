@@ -90,27 +90,34 @@ func (m *Waypoint) Step(w *space.World, dt float64, rng *rand.Rand) {
 		return
 	}
 	for _, v := range w.Nodes() {
-		st := m.state[v]
-		if st == nil {
-			st = m.newLeg(rng)
-			m.state[v] = st
-		}
-		if st.pausing > 0 {
-			st.pausing -= dt
-			continue
-		}
-		p, _ := w.Pos(v)
-		d := p.Dist(st.dest)
-		travel := st.speed * dt
-		if travel >= d {
-			w.Place(v, st.dest)
-			ns := m.newLeg(rng)
-			ns.pausing = m.Pause
-			m.state[v] = ns
-			continue
-		}
-		w.Place(v, p.Add((st.dest.X-p.X)/d*travel, (st.dest.Y-p.Y)/d*travel))
+		m.stepNode(w, v, dt, rng)
 	}
+}
+
+// stepNode advances one node by dt along its current leg (drawing a new
+// leg on arrival) — the per-node body shared by Waypoint and the models
+// that move only a subset (Commuter).
+func (m *Waypoint) stepNode(w *space.World, v ident.NodeID, dt float64, rng *rand.Rand) {
+	st := m.state[v]
+	if st == nil {
+		st = m.newLeg(rng)
+		m.state[v] = st
+	}
+	if st.pausing > 0 {
+		st.pausing -= dt
+		return
+	}
+	p, _ := w.Pos(v)
+	d := p.Dist(st.dest)
+	travel := st.speed * dt
+	if travel >= d {
+		w.Place(v, st.dest)
+		ns := m.newLeg(rng)
+		ns.pausing = m.Pause
+		m.state[v] = ns
+		return
+	}
+	w.Place(v, p.Add((st.dest.X-p.X)/d*travel, (st.dest.Y-p.Y)/d*travel))
 }
 
 // Walk is a bounded random walk: each node keeps a heading, moves at Speed,
@@ -367,4 +374,60 @@ func (m *RingRoad) Step(w *space.World, dt float64, rng *rand.Rand) {
 func (m *RingRoad) place(w *space.World, v ident.NodeID, radius float64) {
 	r := radius + float64(m.lane[v])*m.LaneGap
 	w.Place(v, space.Point{X: r * math.Cos(m.angle[v]), Y: r * math.Sin(m.angle[v])})
+}
+
+// Commuter models a mostly-parked population: a fixed ActiveFraction of
+// the nodes drive random-waypoint journeys while the rest stay parked
+// where they were placed (a sensor field with a few mobile collectors, a
+// parking lot with a trickle of traffic). Because only the commuters ever
+// move, the per-tick dirty set the spatial index tracks stays small and
+// the delta-incremental SymmetricGraph rebuild applies every tick — this
+// is the mobility regime the ApplyDelta path is built for, where the
+// all-moving Waypoint regime always falls back to the full rebuild.
+type Commuter struct {
+	Side, SpeedMin, SpeedMax, Pause float64
+	// ActiveFraction is the fraction of nodes that commute (clamped to
+	// [0,1]); the default 0 parks everyone.
+	ActiveFraction float64
+
+	wp     Waypoint
+	active map[ident.NodeID]bool
+}
+
+// Init implements Model: places everyone uniformly and draws the
+// commuting subset deterministically from rng (every k-th node of a
+// shuffled order, so the subset is unbiased across IDs).
+func (m *Commuter) Init(w *space.World, nodes []ident.NodeID, rng *rand.Rand) {
+	m.wp = Waypoint{Side: m.Side, SpeedMin: m.SpeedMin, SpeedMax: m.SpeedMax, Pause: m.Pause}
+	f := m.ActiveFraction
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	k := int(f * float64(len(nodes)))
+	perm := rng.Perm(len(nodes))
+	m.active = make(map[ident.NodeID]bool, k)
+	for _, i := range perm[:k] {
+		m.active[nodes[i]] = true
+	}
+	// Waypoint.Init places every node and assigns legs; parked nodes
+	// simply never execute theirs.
+	m.wp.Init(w, nodes, rng)
+}
+
+// Step implements Model: advances only the commuting subset through the
+// shared waypoint leg logic, drawing exactly one leg's worth of
+// randomness per arriving commuter (parked nodes consume no RNG, so
+// traces are independent of the parked count).
+func (m *Commuter) Step(w *space.World, dt float64, rng *rand.Rand) {
+	if dt == 0 || len(m.active) == 0 {
+		return
+	}
+	for _, v := range w.Nodes() {
+		if m.active[v] {
+			m.wp.stepNode(w, v, dt, rng)
+		}
+	}
 }

@@ -37,6 +37,14 @@ type SoakConfig struct {
 	JoinRate  float64
 	LeaveRate float64
 
+	// ActiveFraction selects the mobility regime: 0 or ≥1 runs the
+	// classic all-moving random waypoint; a value in (0,1) runs the
+	// mostly-parked commuter model with that fraction of movers — the
+	// regime where the spatial index patches the previous CSR through
+	// graph.ApplyDelta every round instead of rebuilding, so long soaks
+	// exercise the delta path under the race detector.
+	ActiveFraction float64
+
 	MaxRounds int           // stop after this many rounds (default 1000)
 	Duration  time.Duration // optional wall-clock cap
 
@@ -131,7 +139,11 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 	for i := range ids {
 		ids[i] = ident.NodeID(i + 1)
 	}
-	mob := &mobility.Waypoint{Side: cfg.Side, SpeedMin: 0.5, SpeedMax: 2, Pause: 1}
+	var mob mobility.Model = &mobility.Waypoint{Side: cfg.Side, SpeedMin: 0.5, SpeedMax: 2, Pause: 1}
+	if cfg.ActiveFraction > 0 && cfg.ActiveFraction < 1 {
+		mob = &mobility.Commuter{Side: cfg.Side, SpeedMin: 0.5, SpeedMax: 2, Pause: 1,
+			ActiveFraction: cfg.ActiveFraction}
+	}
 	topo := engine.NewSpatialTopology(w, mob, cfg.DT, ids, rand.New(rand.NewSource(cfg.Seed)))
 	e := engine.New(engine.Params{
 		Cfg:     core.Config{Dmax: cfg.Dmax},

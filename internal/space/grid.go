@@ -15,6 +15,7 @@ package space
 import (
 	"math"
 	"reflect"
+	"slices"
 	"sync"
 
 	"repro/internal/graph"
@@ -107,7 +108,128 @@ func (w *World) rebuildIndex() {
 		w.wallsPtr = &w.Walls[0]
 	}
 	w.dirty = false
+	w.deltaFull = true // ranges or walls changed: every link is suspect
 	w.gen++
+}
+
+// deltaFraction bounds how large the moved set may grow, relative to the
+// population, before the delta rebuild stops paying: past roughly a
+// quarter of the nodes, re-scanning the movers plus patching their
+// neighbors' rows costs about as much as the full sharded rebuild (which
+// also lays the whole CSR out in one arena), so the builder falls back.
+const deltaFraction = 4
+
+// markMoved records a changed position for the delta rebuild. The slice
+// may hold the same node several times (a mover Placed on every tick
+// between two rebuilds); the poisoning decision therefore counts *unique*
+// movers — once raw appends cross the threshold, the slice is compacted
+// and tracking gives up only if the distinct count is past it too. The
+// doubling guard (compact again only after the raw length doubles the
+// known-distinct count) keeps the compaction cost amortized O(1) per
+// Place; the all-moving random-waypoint regime still pays only a branch
+// and an append until the first compaction poisons it for the cycle.
+func (w *World) markMoved(v ident.NodeID) {
+	if w.deltaFull {
+		return
+	}
+	if limit := len(w.pos) / deltaFraction; len(w.movedDirty) >= limit &&
+		len(w.movedDirty) >= 2*w.movedUnique {
+		sortIDs(w.movedDirty)
+		w.movedDirty = compactIDs(w.movedDirty)
+		w.movedUnique = len(w.movedDirty)
+		if w.movedUnique >= limit {
+			w.deltaFull = true
+			w.movedDirty = w.movedDirty[:0]
+			w.movedUnique = 0
+			return
+		}
+	}
+	w.movedDirty = append(w.movedDirty, v)
+}
+
+// deltaViable reports whether the next rebuild may take the delta path:
+// a previous graph exists over the identical roster and configuration,
+// the *distinct* moved set stayed under the worthwhile fraction, and the
+// path is not disabled. The moved slice is compacted here (the delta
+// build needs it sorted and unique anyway). An empty moved set with a
+// stale generation can only follow an Invalidate — deltaFull covers it.
+func (w *World) deltaViable(n int) bool {
+	if w.DisableDelta || w.deltaFull || w.symGraph == nil || len(w.movedDirty) == 0 {
+		return false
+	}
+	sortIDs(w.movedDirty)
+	w.movedDirty = compactIDs(w.movedDirty)
+	w.movedUnique = len(w.movedDirty)
+	return len(w.movedDirty) <= n/deltaFraction
+}
+
+// buildSymmetricGraphDelta re-scans only the moved nodes' vicinities —
+// an edge can appear or disappear only if at least one endpoint moved, so
+// the movers' full replacement rows describe every change — and patches
+// prev through graph.ApplyDelta. The scan fans out over the same 64
+// NodeID shards as the full build (shard-major merge order, canonical at
+// any worker count); the patched result is bit-identical to a full
+// rebuild from the same positions.
+func (w *World) buildSymmetricGraphDelta(prev *graph.G) *graph.G {
+	// deltaViable — the only production gate, evaluated immediately before
+	// this — already sorted and deduplicated the moved set.
+	dirty := w.movedDirty
+	for s := range w.shardNodes {
+		w.shardNodes[s] = w.shardNodes[s][:0]
+	}
+	for _, v := range dirty {
+		s := shardOf(v)
+		w.shardNodes[s] = append(w.shardNodes[s], v)
+	}
+	w.runShards(func(s int) {
+		adjs := w.shardAdjs[s][:0]
+		nbrs := w.shardNbrs[s][:0]
+		for _, u := range w.shardNodes[s] {
+			pu := w.pos[u]
+			ru := w.rangeOf(u)
+			k := w.cellOf[u]
+			start := len(nbrs)
+			for cx := k.cx - 1; cx <= k.cx+1; cx++ {
+				for cy := k.cy - 1; cy <= k.cy+1; cy++ {
+					for _, c := range w.cells[cellKey{cx, cy}] {
+						if c.id == u {
+							continue
+						}
+						r := ru
+						if rv := w.rangeOf(c.id); rv < r {
+							r = rv
+						}
+						if pu.Dist(c.pt) > r {
+							continue
+						}
+						if w.wallBlocked(pu, c.pt) {
+							continue
+						}
+						nbrs = append(nbrs, c.id)
+					}
+				}
+			}
+			sortIDs(nbrs[start:])
+			adjs = append(adjs, graph.NodeAdj{Node: u, Adj: nbrs[start:len(nbrs):len(nbrs)]})
+		}
+		w.shardAdjs[s], w.shardNbrs[s] = adjs, nbrs
+	})
+	updates := w.updBuf[:0]
+	for s := range w.shardAdjs {
+		updates = append(updates, w.shardAdjs[s]...)
+	}
+	w.updBuf = updates
+	return graph.ApplyDelta(prev, updates)
+}
+
+// sortIDs sorts a NodeID slice ascending.
+func sortIDs(ids []ident.NodeID) {
+	slices.Sort(ids)
+}
+
+// compactIDs dedups an ascending NodeID slice in place.
+func compactIDs(ids []ident.NodeID) []ident.NodeID {
+	return slices.Compact(ids)
 }
 
 // gridInsert adds v (already in pos) to its cell.

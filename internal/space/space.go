@@ -53,6 +53,11 @@ type World struct {
 	// width (engine.New propagates its own Workers here for spatial
 	// topologies).
 	Workers int
+	// DisableDelta forces every SymmetricGraph rebuild down the full
+	// FromEdgesShared path even when the delta-incremental patch would
+	// apply. For A/B benchmarks and ablations; the graphs are identical
+	// either way.
+	DisableDelta bool
 
 	pos map[ident.NodeID]Point
 
@@ -88,6 +93,19 @@ type World struct {
 	edgeBuf    []gridEdge
 	symGraph   *graph.G
 	symGen     uint64
+
+	// Delta-rebuild bookkeeping (grid.go): movedDirty accumulates, since
+	// the last committed graph build, the nodes whose position actually
+	// changed; deltaFull poisons the delta path until the next full
+	// rebuild (membership churn, structural reindex, or a dirty set past
+	// the worthwhile fraction). The per-shard scratch carries each dirty
+	// node's re-scanned adjacency into graph.ApplyDelta.
+	movedDirty  []ident.NodeID
+	movedUnique int // distinct movers at the last compaction
+	deltaFull   bool
+	shardAdjs  [numShards][]graph.NodeAdj
+	shardNbrs  [numShards][]ident.NodeID
+	updBuf     []graph.NodeAdj
 }
 
 // NewWorld returns an empty world with the given default range.
@@ -134,8 +152,11 @@ func (w *World) Place(v ident.NodeID, p Point) {
 	}
 	w.pos[v] = p
 	w.gen++
-	if !existed {
+	if existed {
+		w.markMoved(v)
+	} else {
 		w.idsDirty = true
+		w.deltaFull = true // membership grew: the next rebuild is full
 	}
 	if w.cells == nil {
 		return // index not built yet; the first query inserts everyone
@@ -166,6 +187,7 @@ func (w *World) Remove(v ident.NodeID) {
 	delete(w.pos, v)
 	w.gen++
 	w.idsDirty = true
+	w.deltaFull = true // membership shrank: the next rebuild is full
 	if w.cells != nil {
 		w.gridRemove(v, w.cellOf[v])
 		delete(w.cellOf, v)
@@ -230,13 +252,27 @@ func (w *World) CanReach(u, v ident.NodeID) bool {
 // call, the same graph (same pointer, same mutation generation) is
 // returned, so downstream receiver caches stay hot. Callers must treat
 // the returned graph as read-only.
+// Rebuilds go down one of two paths with identical results: when only a
+// small fraction of nodes moved since the last build (and the membership
+// and radio configuration stayed put), the delta path re-scans just the
+// movers' vicinities and patches the previous CSR through
+// graph.ApplyDelta; otherwise the full 64-shard fan-out rebuild runs.
 func (w *World) SymmetricGraph() *graph.G {
 	w.validate()
 	if w.symGraph != nil && w.symGen == w.gen {
 		return w.symGraph
 	}
-	g := w.buildSymmetricGraph(w.Nodes())
+	nodes := w.Nodes()
+	var g *graph.G
+	if w.deltaViable(len(nodes)) {
+		g = w.buildSymmetricGraphDelta(w.symGraph)
+	} else {
+		g = w.buildSymmetricGraph(nodes)
+	}
 	w.symGraph, w.symGen = g, w.gen
+	w.movedDirty = w.movedDirty[:0]
+	w.movedUnique = 0
+	w.deltaFull = false
 	return g
 }
 
@@ -255,6 +291,18 @@ func (w *World) Receivers(u ident.NodeID) []ident.NodeID {
 // several workers; each passes its own buffer).
 func (w *World) AppendReceivers(u ident.NodeID, buf []ident.NodeID) []ident.NodeID {
 	w.validate()
+	// With no per-node range overrides, reachability is symmetric (same
+	// range both ways, walls block both directions alike), so the receiver
+	// set of u is exactly its row in the cached symmetric graph. When that
+	// cache is current — the engine always rebuilds the graph before the
+	// build phase queries receivers — the 3×3 vicinity scan and its sort
+	// collapse into one CSR row copy.
+	if len(w.TxRange) == 0 && w.symGraph != nil && w.symGen == w.gen {
+		if _, ok := w.pos[u]; !ok {
+			return buf
+		}
+		return w.symGraph.AppendNeighbors(u, buf)
+	}
 	pu, ok := w.pos[u]
 	if !ok {
 		return buf

@@ -340,3 +340,143 @@ func TestNodesCachedRoster(t *testing.T) {
 		t.Fatalf("held roster slice was clobbered: %v", a)
 	}
 }
+
+// TestDeltaRebuildMatchesBruteForce drives the delta-incremental rebuild:
+// a mostly parked population where only a few nodes move between builds,
+// so SymmetricGraph takes the ApplyDelta path round after round. Every
+// round is checked against the all-pairs oracle, interleaved with the
+// events that must poison the delta (joins, leaves, wall and range
+// reconfiguration) and with stationary rounds that must keep serving the
+// cached pointer.
+func TestDeltaRebuildMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	w := NewWorld(2.0)
+	const n = 120
+	for i := 1; i <= n; i++ {
+		w.Place(ident.NodeID(i), Point{X: rng.Float64() * 25, Y: rng.Float64() * 25})
+	}
+	checkAgainstOracle(t, w, "initial full build")
+	deltaRounds := 0
+	for round := 0; round < 40; round++ {
+		// Move a handful of nodes (some across cells, some within, some
+		// onto their current position — the no-op must not dirty them).
+		for j := 0; j < 1+rng.Intn(4); j++ {
+			v := ident.NodeID(1 + rng.Intn(n))
+			p, _ := w.Pos(v)
+			switch rng.Intn(3) {
+			case 0:
+				w.Place(v, Point{X: rng.Float64() * 25, Y: rng.Float64() * 25})
+			case 1:
+				w.Place(v, p.Add(rng.Float64()*0.8-0.4, rng.Float64()*0.8-0.4))
+			default:
+				w.Place(v, p)
+			}
+		}
+		if w.deltaViable(len(w.Nodes())) {
+			deltaRounds++
+		}
+		checkAgainstOracle(t, w, "delta round")
+		switch round {
+		case 12:
+			w.Remove(ident.NodeID(1 + rng.Intn(n)))
+			checkAgainstOracle(t, w, "after leave")
+		case 20:
+			w.Place(ident.NodeID(n + 1), Point{X: 5, Y: 5})
+			checkAgainstOracle(t, w, "after join")
+		case 28:
+			w.SetWalls([]Segment{{A: Point{X: 12, Y: 0}, B: Point{X: 12, Y: 25}}})
+			checkAgainstOracle(t, w, "after walls")
+		case 34:
+			w.SetTxRange(ident.NodeID(3), 4.0)
+			checkAgainstOracle(t, w, "after txrange")
+		}
+		// Stationary round: the cached graph pointer must survive.
+		g1 := w.SymmetricGraph()
+		if g2 := w.SymmetricGraph(); g1 != g2 {
+			t.Fatal("stationary round rebuilt the graph")
+		}
+	}
+	if deltaRounds < 20 {
+		t.Fatalf("delta path exercised only %d/40 rounds", deltaRounds)
+	}
+	// The disabled path must produce the identical graph.
+	v := ident.NodeID(2)
+	p, _ := w.Pos(v)
+	w.Place(v, p.Add(0.3, -0.2))
+	delta := w.SymmetricGraph()
+	w.DisableDelta = true
+	w.Invalidate()
+	full := w.SymmetricGraph()
+	if !delta.Equal(full) {
+		t.Fatal("delta graph differs from full rebuild")
+	}
+}
+
+// TestDeltaFallsBackWhenMostMove asserts the worthwhile-fraction fallback:
+// when more than a quarter of the population moves, the next rebuild must
+// not take the delta path (the full rebuild is cheaper) — and the result
+// still matches the oracle.
+func TestDeltaFallsBackWhenMostMove(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	w := NewWorld(2.0)
+	const n = 60
+	for i := 1; i <= n; i++ {
+		w.Place(ident.NodeID(i), Point{X: rng.Float64() * 15, Y: rng.Float64() * 15})
+	}
+	w.SymmetricGraph()
+	for i := 1; i <= n/2; i++ {
+		w.Place(ident.NodeID(i), Point{X: rng.Float64() * 15, Y: rng.Float64() * 15})
+	}
+	if w.deltaViable(n) {
+		t.Fatal("delta path viable with half the population moved")
+	}
+	checkAgainstOracle(t, w, "bulk move")
+}
+
+// TestDeltaParallelMatchesSequential pins the worker-count independence of
+// the delta path: the patched graph at Workers=4 equals the sequential one.
+func TestDeltaParallelMatchesSequential(t *testing.T) {
+	build := func(workers int) *graph.G {
+		rng := rand.New(rand.NewSource(23))
+		w := NewWorld(2.0)
+		w.Workers = workers
+		for i := 1; i <= 100; i++ {
+			w.Place(ident.NodeID(i), Point{X: rng.Float64() * 20, Y: rng.Float64() * 20})
+		}
+		w.SymmetricGraph()
+		for j := 0; j < 10; j++ {
+			v := ident.NodeID(1 + rng.Intn(100))
+			w.Place(v, Point{X: rng.Float64() * 20, Y: rng.Float64() * 20})
+		}
+		if !w.deltaViable(100) {
+			t.Fatal("expected the delta path")
+		}
+		return w.SymmetricGraph()
+	}
+	if !build(1).Equal(build(4)) {
+		t.Fatal("delta graph depends on worker count")
+	}
+}
+
+// TestDeltaSurvivesRepeatedMovers pins the unique-mover threshold: a tiny
+// set of nodes each moving many times between two rebuilds must not
+// poison the delta path (the raw append count crosses the fraction, the
+// distinct count does not).
+func TestDeltaSurvivesRepeatedMovers(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	w := NewWorld(2.0)
+	const n = 80
+	for i := 1; i <= n; i++ {
+		w.Place(ident.NodeID(i), Point{X: rng.Float64() * 20, Y: rng.Float64() * 20})
+	}
+	w.SymmetricGraph()
+	for step := 0; step < 30*n; step++ { // 2400 Places, 3 distinct movers
+		v := ident.NodeID(1 + step%3)
+		p, _ := w.Pos(v)
+		w.Place(v, p.Add(0.01, 0.005))
+	}
+	if !w.deltaViable(n) {
+		t.Fatal("repeated movers poisoned the delta path")
+	}
+	checkAgainstOracle(t, w, "repeated movers")
+}

@@ -35,7 +35,7 @@ func FuzzDecode(f *testing.F) {
 // FuzzDecodeList drives the antlist codec with raw bytes: no panics, and
 // accepted lists must satisfy the Set ordering invariant.
 func FuzzDecodeList(f *testing.F) {
-	l := antlist.List{antlist.NewSet()}
+	l := antlist.FromSets(antlist.NewSet())
 	b, _ := l.MarshalBinary()
 	f.Add(b)
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -43,7 +43,8 @@ func FuzzDecodeList(f *testing.F) {
 		if err != nil {
 			return
 		}
-		for _, s := range got {
+		for p := 0; p < got.Len(); p++ {
+			s := got.At(p)
 			for i := 1; i < len(s); i++ {
 				if s[i].ID <= s[i-1].ID {
 					t.Fatalf("unsorted set decoded: %v", s)

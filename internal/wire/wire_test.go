@@ -15,11 +15,11 @@ import (
 )
 
 func sampleMessage() core.Message {
-	list := antlist.List{
+	list := antlist.FromSets(
 		antlist.NewSet(ident.Plain(3)),
 		antlist.NewSet(ident.Plain(1), ident.Single(2)),
 		antlist.NewSet(ident.Double(9)),
-	}
+	)
 	return core.Message{
 		From: 3,
 		List: list,

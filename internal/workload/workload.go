@@ -44,20 +44,20 @@ func Corrupt(s *sim.Sim, kind CorruptionKind, fraction float64, rng *rand.Rand) 
 		corrupted++
 		switch kind {
 		case CorruptGhosts:
-			l := antlist.List{
+			l := antlist.FromSets(
 				antlist.NewSet(ident.Plain(v)),
-				antlist.NewSet(ident.Plain(ident.NodeID(ghostBase + rng.Uint32()%1000))),
-				antlist.NewSet(ident.Plain(ident.NodeID(ghostBase + 1000 + rng.Uint32()%1000))),
-			}
+				antlist.NewSet(ident.Plain(ident.NodeID(ghostBase+rng.Uint32()%1000))),
+				antlist.NewSet(ident.Plain(ident.NodeID(ghostBase+1000+rng.Uint32()%1000))),
+			)
 			n.LoadState(l, nil, nil, priority.P{Clock: uint64(rng.Intn(10)), ID: v})
 		case CorruptOversized:
 			depth := s.P.Cfg.Dmax + 3 + rng.Intn(4)
-			l := make(antlist.List, depth)
-			l[0] = antlist.NewSet(ident.Plain(v))
+			sets := make([]antlist.Set, depth)
+			sets[0] = antlist.NewSet(ident.Plain(v))
 			for i := 1; i < depth; i++ {
-				l[i] = antlist.NewSet(ident.Plain(ident.NodeID(ghostBase + uint32(i)*17 + rng.Uint32()%100)))
+				sets[i] = antlist.NewSet(ident.Plain(ident.NodeID(ghostBase + uint32(i)*17 + rng.Uint32()%100)))
 			}
-			n.LoadState(l, nil, nil, priority.P{Clock: uint64(rng.Intn(10)), ID: v})
+			n.LoadState(antlist.FromSets(sets...), nil, nil, priority.P{Clock: uint64(rng.Intn(10)), ID: v})
 		case CorruptViews:
 			view := map[ident.NodeID]bool{v: true}
 			for i := 0; i < 3; i++ {
