@@ -9,6 +9,7 @@ package grp
 // code with the full seed count.
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -672,4 +673,80 @@ func BenchmarkIncrementalGraph(b *testing.B) {
 	}
 	b.Run("delta-patch", func(b *testing.B) { run(b, false) })
 	b.Run("full-rebuild", func(b *testing.B) { run(b, true) })
+}
+
+// --- slot-indexed engine + activity-skip benchmarks (PR 6 trajectory: BENCH_engine.json) ---
+
+// parkedEngine builds the n=50000 mostly-parked commuter world (2% of the
+// nodes drive random-waypoint journeys, the rest stay parked, constant
+// density) and settles it for 100 ticks so the parked clusters have
+// converged — the regime where tick cost must track the active set, not
+// the roster.
+func parkedEngine(workers int, eager bool) *engine.Engine {
+	return parkedEngineAt(workers, eager, 0.02)
+}
+
+// parkedEngineAt is parkedEngine with the commuter active fraction as a
+// parameter, for the parked→mobile sweep.
+func parkedEngineAt(workers int, eager bool, active float64) *engine.Engine {
+	const n = 50000
+	w := space.NewWorld(2.5)
+	ids := make([]ident.NodeID, n)
+	for i := range ids {
+		ids[i] = ident.NodeID(i + 1)
+	}
+	m := &mobility.Commuter{Side: 2.7 * math.Sqrt(float64(n)), SpeedMin: 0.5, SpeedMax: 2,
+		Pause: 1, ActiveFraction: active}
+	topo := engine.NewSpatialTopology(w, m, 0.2, ids, rand.New(rand.NewSource(1)))
+	s := engine.New(engine.Params{Cfg: core.Config{Dmax: 3}, Seed: 1, Workers: workers, EagerCompute: eager}, topo)
+	s.StepTicks(100)
+	return s
+}
+
+// BenchmarkParkedTick is the PR 6 acceptance benchmark: the settled
+// parked-world tick at n=50000 with the activity-driven compute skip on
+// (the default) and off (EagerCompute — every parked node re-derives its
+// no-op round, the pre-skip cost model on the slot-indexed engine). The
+// PR 5 baseline for the same world is this benchmark run on the PR 5
+// tree; all three are recorded in BENCH_engine.json. skipfrac reports the
+// fraction of compute boundaries the measured ticks satisfied by skips.
+func BenchmarkParkedTick(b *testing.B) {
+	for _, eager := range []bool{false, true} {
+		name := "skip-4workers"
+		if eager {
+			name = "eager-4workers"
+		}
+		b.Run(name, func(b *testing.B) {
+			s := parkedEngine(4, eager)
+			s.ComputesRun, s.ComputesSkipped = 0, 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Step()
+			}
+			if total := s.ComputesRun + s.ComputesSkipped; total > 0 {
+				b.ReportMetric(float64(s.ComputesSkipped)/float64(total), "skipfrac")
+			}
+		})
+	}
+}
+
+// BenchmarkParkedSweep charts the activity-driven scheduler across the
+// parked→mobile spectrum: the same n=50000 commuter world with a rising
+// fraction of nodes on the move. Tick cost should track the active set —
+// near-flat replay cost at the parked end, converging to the eager cost
+// as everything moves (EXPERIMENTS.md, parked-world sweep).
+func BenchmarkParkedSweep(b *testing.B) {
+	for _, active := range []float64{0, 0.02, 0.10, 0.50} {
+		b.Run(fmt.Sprintf("active=%g", active), func(b *testing.B) {
+			s := parkedEngineAt(4, false, active)
+			s.ComputesRun, s.ComputesSkipped = 0, 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Step()
+			}
+			if total := s.ComputesRun + s.ComputesSkipped; total > 0 {
+				b.ReportMetric(float64(s.ComputesSkipped)/float64(total), "skipfrac")
+			}
+		})
+	}
 }

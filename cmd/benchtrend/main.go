@@ -1,0 +1,235 @@
+// Command benchtrend maintains the repository's benchmark trend history:
+// it parses `go test -bench` output, appends one machine-readable record
+// per benchmark to a JSONL history file, and fails when a benchmark
+// regressed more than a threshold against the rolling median of its own
+// recent history. The scheduled bench-trend workflow runs it on the bench
+// smoke suite and commits the updated history back, so the trend file is
+// an append-only, reviewable perf trajectory of the repository.
+//
+// Usage:
+//
+//	go test -run XXX -bench ... -benchtime 3x . | benchtrend -history bench/history.jsonl
+//
+// Exit status: 0 when no benchmark regressed (or history is still too
+// short to judge), 1 on regression, 2 on usage/IO errors. Records are
+// appended before the verdict, so a regressed run is still visible in
+// the history it was judged against.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// record is one benchmark observation, one JSON object per history line.
+type record struct {
+	TS      string  `json:"ts"`     // RFC3339 UTC
+	Commit  string  `json:"commit"` // full or short hash, best effort
+	Bench   string  `json:"bench"`  // benchmark name with sub-bench path, GOMAXPROCS suffix stripped
+	NsPerOp float64 `json:"ns_per_op"`
+	Iters   int     `json:"iters"`
+}
+
+// benchLine matches `go test -bench` result rows:
+//
+//	BenchmarkName/sub-4    	     10	  12345678 ns/op	  0.97 skipfrac
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.e+]+) ns/op`)
+
+func main() {
+	in := flag.String("in", "-", "bench output to parse ('-' = stdin)")
+	historyPath := flag.String("history", "bench/history.jsonl", "JSONL history file (appended)")
+	maxRegress := flag.Float64("max-regress", 0.10, "fail when ns/op exceeds the rolling median by more than this fraction")
+	window := flag.Int("window", 10, "history entries per benchmark the rolling median is taken over")
+	minHistory := flag.Int("min-history", 3, "minimum prior entries before a benchmark is judged")
+	commit := flag.String("commit", "", "commit hash to record (default: $GITHUB_SHA, then git rev-parse)")
+	noAppend := flag.Bool("check-only", false, "judge against history without appending")
+	flag.Parse()
+
+	src := os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal("open input: %v", err)
+		}
+		defer f.Close()
+		src = f
+	}
+	fresh, err := parseBench(src)
+	if err != nil {
+		fatal("parse bench output: %v", err)
+	}
+	if len(fresh) == 0 {
+		fatal("no benchmark result lines found")
+	}
+
+	history, err := loadHistory(*historyPath)
+	if err != nil {
+		fatal("load history: %v", err)
+	}
+
+	now := time.Now().UTC().Format(time.RFC3339)
+	hash := resolveCommit(*commit)
+	for i := range fresh {
+		fresh[i].TS = now
+		fresh[i].Commit = hash
+	}
+
+	regressed := 0
+	for _, r := range fresh {
+		prior := tail(history[r.Bench], *window)
+		if len(prior) < *minHistory {
+			fmt.Printf("seed  %-60s %12.0f ns/op  (%d prior entries, not judged)\n",
+				r.Bench, r.NsPerOp, len(prior))
+			continue
+		}
+		med := median(prior)
+		delta := r.NsPerOp/med - 1
+		verdict := "ok   "
+		if delta > *maxRegress {
+			verdict = "REGRESSION"
+			regressed++
+		}
+		fmt.Printf("%s %-60s %12.0f ns/op  median %12.0f  %+6.1f%%\n",
+			verdict, r.Bench, r.NsPerOp, med, 100*delta)
+	}
+
+	if !*noAppend {
+		if err := appendHistory(*historyPath, fresh); err != nil {
+			fatal("append history: %v", err)
+		}
+	}
+	if regressed > 0 {
+		fmt.Fprintf(os.Stderr, "benchtrend: %d benchmark(s) regressed beyond %.0f%%\n",
+			regressed, 100**maxRegress)
+		os.Exit(1)
+	}
+}
+
+func parseBench(r io.Reader) ([]record, error) {
+	var out []record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.Atoi(m[2])
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, record{Bench: stripProcs(m[1]), NsPerOp: ns, Iters: iters})
+	}
+	return out, sc.Err()
+}
+
+// stripProcs drops the trailing -<GOMAXPROCS> suffix go test appends, so
+// histories stay comparable across runner core counts. (The numbers are
+// only judged against the same history file, which a given runner owns.)
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func loadHistory(path string) (map[string][]record, error) {
+	out := make(map[string][]record)
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return out, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var r record
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			return nil, fmt.Errorf("bad history line %q: %v", line, err)
+		}
+		out[r.Bench] = append(out[r.Bench], r)
+	}
+	return out, sc.Err()
+}
+
+func appendHistory(path string, recs []record) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	for _, r := range recs {
+		b, err := json.Marshal(r)
+		if err != nil {
+			return err
+		}
+		w.Write(b)
+		w.WriteByte('\n')
+	}
+	return w.Flush()
+}
+
+func resolveCommit(flagVal string) string {
+	if flagVal != "" {
+		return flagVal
+	}
+	if sha := os.Getenv("GITHUB_SHA"); sha != "" {
+		return sha
+	}
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func tail(rs []record, k int) []record {
+	if len(rs) > k {
+		return rs[len(rs)-k:]
+	}
+	return rs
+}
+
+func median(rs []record) float64 {
+	vals := make([]float64, len(rs))
+	for i, r := range rs {
+		vals[i] = r.NsPerOp
+	}
+	for i := 1; i < len(vals); i++ {
+		for j := i; j > 0 && vals[j] < vals[j-1]; j-- {
+			vals[j], vals[j-1] = vals[j-1], vals[j]
+		}
+	}
+	n := len(vals)
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return (vals[n/2-1] + vals[n/2]) / 2
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchtrend: "+format+"\n", args...)
+	os.Exit(2)
+}

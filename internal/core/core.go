@@ -215,6 +215,16 @@ type Node struct {
 	version  uint64 // bumped on every observable-state change (Compute, LoadState)
 	viewVer  uint64 // bumped only when the view *content* changes
 
+	// Round-quietness bookkeeping for activity-driven drivers (see
+	// RoundQuietness): quiet classifies the last executed Compute,
+	// streakMoved records whether that round changed any incompatibility
+	// streak, rejectedMoved whether it dropped (expiry) or added/refreshed
+	// (rejection) a boundary-memory entry — the two pieces of
+	// decision-relevant state the version deliberately does not cover.
+	quiet         Quietness
+	streakMoved   bool
+	rejectedMoved bool
+
 	// Per-node scratch reused across computes (never escapes): the view
 	// and quarantine double-buffers swap with the live slices each round;
 	// incsBuf holds the round's checked senders in preference order (the
@@ -262,12 +272,16 @@ func (n *Node) streakOf(u ident.NodeID) int {
 func (n *Node) setStreak(u ident.NodeID, c int) {
 	for i := range n.streak {
 		if n.streak[i].id == u {
-			n.streak[i].c = int32(c)
+			if n.streak[i].c != int32(c) {
+				n.streak[i].c = int32(c)
+				n.streakMoved = true
+			}
 			return
 		}
 	}
 	if c != 0 {
 		n.streak = append(n.streak, streakEntry{id: u, c: int32(c)})
+		n.streakMoved = true
 	}
 }
 
@@ -350,6 +364,113 @@ func (n *Node) Version() uint64 { return n.version }
 // single counter comparison instead of a view re-extraction.
 func (n *Node) ViewVersion() uint64 { return n.viewVer }
 
+// Quietness classifies an executed Compute round for activity-driven
+// drivers: whether feeding the node the exact same inbox again would
+// provably reproduce the round without running it.
+type Quietness uint8
+
+const (
+	// QuietNone: the round moved decision-relevant state; the next round
+	// must run in full.
+	QuietNone Quietness = iota
+
+	// QuietFixpoint: the round reproduced the node's state bit for bit
+	// (version unmoved), changed no incompatibility streak, and left the
+	// boundary memory empty. Compute is then a pure deterministic function
+	// of (state, inbox): an identical inbox yields the identical no-op,
+	// which a driver may replay with SkipQuietRound.
+	QuietFixpoint
+
+	// QuietLonely: an isolated singleton's steady state — empty inbox,
+	// and the only moving state is the self-clock tick chain (self, its
+	// priority-cache entry, and the group priority trailing it). The next
+	// empty-inbox round is the same closed-form step, which a driver may
+	// replay with SkipLonelyRound.
+	QuietLonely
+
+	// QuietHeld: a stable group boundary — the round reproduced the state
+	// bit for bit (version unmoved, streaks untouched) *except* that the
+	// boundary memory is non-empty: one or more neighbors are being
+	// auto-rejected under an active hold. Such a round consults the round
+	// counter only through the hold-expiry filter, so with an identical
+	// inbox it replays itself verbatim until the first hold expires: a
+	// driver may replay it with SkipHeldRound while
+	// Computes() < HoldHorizon(). The classification additionally
+	// requires that the round neither dropped nor added/refreshed any
+	// boundary-memory entry (an expiry or a fresh rejection makes the
+	// next round re-probe, which is not a replay).
+	QuietHeld
+)
+
+// RoundQuietness reports the classification of the last executed Compute
+// (QuietNone until the first Compute, and after LoadState). It is the
+// engine-facing "round would be a no-op" predicate: together with an
+// unchanged Version and an inbox identical to the one that round
+// consumed, it licenses skipping the next Compute entirely.
+func (n *Node) RoundQuietness() Quietness { return n.quiet }
+
+// SkipQuietRound applies the exact effect a Compute would have on a
+// QuietFixpoint state receiving the same inbox as the round that
+// classified it: the logical round counter advances and the buffered
+// messages are consumed; nothing observable moves (Version included).
+// The caller owns the precondition — RoundQuietness() == QuietFixpoint,
+// no intervening LoadState, and a buffered message set identical (same
+// senders, same message contents) to the classified round's. The engine
+// establishes it by tracking per-sender message versions between compute
+// boundaries.
+func (n *Node) SkipQuietRound() {
+	n.computes++
+	clear(n.msgSet)
+	n.msgSet = n.msgSet[:0]
+}
+
+// SkipLonelyRound applies the exact effect a Compute would have on a
+// QuietLonely state with an empty inbox: the round counter advances, the
+// isolation clock ticks (self, its pinned priority-cache entry, and the
+// group priority that equals it), and Version moves — the tick is
+// observable in the node's broadcast. Everything else (list, view,
+// quarantine, group-priority cache, ViewVersion) provably reproduces
+// itself and stays untouched. The caller owns the precondition, exactly
+// as for SkipQuietRound.
+func (n *Node) SkipLonelyRound() {
+	n.computes++
+	clear(n.msgSet)
+	n.msgSet = n.msgSet[:0]
+	n.self = n.self.Tick()
+	n.storeSelfPrio()
+	n.group = n.self
+	n.version++
+}
+
+// HoldHorizon returns the earliest boundary-memory expiry (0 when the
+// memory is empty): the last round counter value for which a QuietHeld
+// round still replays itself. A driver may call SkipHeldRound while
+// Computes() < HoldHorizon(); the round that would reach the horizon
+// drops the expired hold and must run in full.
+func (n *Node) HoldHorizon() uint64 {
+	var min uint64
+	for i := range n.rejected {
+		if min == 0 || n.rejected[i].exp < min {
+			min = n.rejected[i].exp
+		}
+	}
+	return min
+}
+
+// SkipHeldRound applies the exact effect a Compute would have on a
+// QuietHeld state receiving the same inbox as the round that classified
+// it: the round counter advances and the buffered messages are consumed;
+// the boundary memory, every streak, and the whole versioned state
+// provably reproduce themselves. The caller owns the precondition —
+// RoundQuietness() == QuietHeld, an identical inbox, no intervening
+// LoadState, and Computes() < HoldHorizon() so the replayed round's
+// expiry filter keeps the memory untouched.
+func (n *Node) SkipHeldRound() {
+	n.computes++
+	clear(n.msgSet)
+	n.msgSet = n.msgSet[:0]
+}
+
 // AppendView appends the view members in ascending order to buf and
 // returns the extended slice — the allocation-free variant of View.
 func (n *Node) AppendView(buf []ident.NodeID) []ident.NodeID {
@@ -407,6 +528,9 @@ func (n *Node) LoadState(list antlist.List, view map[ident.NodeID]bool, quar map
 	n.synced = true
 	n.version++
 	n.viewVer++
+	n.quiet = QuietNone // an injected state invalidates any skip license
+	n.streakMoved = false
+	n.rejectedMoved = false
 }
 
 // viewEqual reports whether two ascending view slices have identical
@@ -417,17 +541,23 @@ func viewEqual(a, b []ident.NodeID) bool { return slices.Equal(a, b) }
 // kept (one-message channel); self-messages are ignored. The buffer is a
 // small slice scanned linearly — sender counts are node degrees, where
 // the scan beats the map the seed used.
-func (n *Node) Receive(m Message) {
+func (n *Node) Receive(m Message) { n.ReceiveRef(&m) }
+
+// ReceiveRef is Receive without the by-value argument copy: the message
+// is only copied into the buffer on store. Hot delivery paths (the
+// engine delivers a few hundred thousand receptions per tick, each from
+// a long-lived cached broadcast) call this directly.
+func (n *Node) ReceiveRef(m *Message) {
 	if m.From == n.id || m.From == ident.None {
 		return
 	}
 	for i := range n.msgSet {
 		if n.msgSet[i].From == m.From {
-			n.msgSet[i] = m
+			n.msgSet[i] = *m
 			return
 		}
 	}
-	n.msgSet = append(n.msgSet, m)
+	n.msgSet = append(n.msgSet, *m)
 }
 
 // PendingMessages returns how many distinct senders are buffered (used by
@@ -523,6 +653,9 @@ func (n *Node) ComputeIn(b *antlist.Builder) {
 	n.computes++
 	dmax := n.cfg.Dmax
 	oldSelf, oldGroup := n.self, n.group
+	emptyInbox := len(n.msgSet) == 0
+	n.streakMoved = false
+	n.rejectedMoved = false
 
 	// Check order is a stable preference order, not plain ID order: view
 	// members first (their lists are never subject to the compatibility
@@ -559,8 +692,10 @@ func (n *Node) ComputeIn(b *antlist.Builder) {
 		}
 		return 1
 	})
-	// Expire boundary memory (in-place filter; empty at steady state).
+	// Expire boundary memory (in-place filter; empty at steady state of an
+	// interior node, stable under an active hold at a group boundary).
 	if len(n.rejected) > 0 {
+		was := len(n.rejected)
 		kept := n.rejected[:0]
 		for _, r := range n.rejected {
 			if n.computes <= r.exp {
@@ -568,6 +703,9 @@ func (n *Node) ComputeIn(b *antlist.Builder) {
 			}
 		}
 		n.rejected = kept
+		if len(kept) != was {
+			n.rejectedMoved = true
+		}
 	}
 
 	// Lines 1–9 fused with 10–13: check the received lists in
@@ -832,10 +970,40 @@ func (n *Node) ComputeIn(b *antlist.Builder) {
 	// their cached broadcast without re-assembling it. The double-buffer
 	// spares still hold the pre-round content, which makes the change
 	// checks plain slice compares.
-	if listChanged || viewChanged || n.self != oldSelf || n.group != oldGroup ||
-		!slices.Equal(n.quar, n.quarSpare) ||
-		!slices.Equal(n.prios, n.priosSpare) || !slices.Equal(n.gprs, n.gprsSpare) {
+	quarSame := slices.Equal(n.quar, n.quarSpare)
+	gprsSame := slices.Equal(n.gprs, n.gprsSpare)
+	versionMoved := listChanged || viewChanged || n.self != oldSelf || n.group != oldGroup ||
+		!quarSame || !slices.Equal(n.prios, n.priosSpare) || !gprsSame
+	if versionMoved {
 		n.version++
+	}
+
+	// Round-quietness classification, the engine-facing "this round would
+	// be a no-op" predicate. A fixpoint round left every input Compute
+	// consults untouched — version-covered state, the incompatibility
+	// streaks, and the boundary memory (whose emptiness also keeps the
+	// round counter out of play: expiry and rejection jitter are its only
+	// consumers) — so with an identical inbox the whole function replays
+	// itself. A lonely round is the isolated-singleton variant: the inbox
+	// was empty and the only motion is the closed-form isolation-clock
+	// chain self → prios[self] → group, which SkipLonelyRound reproduces.
+	// A held round is the stable-boundary variant: the memory is non-empty
+	// but this round neither expired nor renewed any entry, so the counter
+	// enters only through the expiry comparisons — the replay stays exact
+	// until the earliest expiry (HoldHorizon), which the driver enforces.
+	n.quiet = QuietNone
+	if !n.streakMoved {
+		switch {
+		case len(n.rejected) > 0:
+			if !versionMoved && !n.rejectedMoved {
+				n.quiet = QuietHeld
+			}
+		case !versionMoved:
+			n.quiet = QuietFixpoint
+		case emptyInbox && !listChanged && !viewChanged && quarSame && gprsSame &&
+			n.self == oldSelf.Tick() && n.group == n.self:
+			n.quiet = QuietLonely
+		}
 	}
 }
 
@@ -939,6 +1107,7 @@ func (n *Node) reject(u ident.NodeID) {
 	if hold == 0 {
 		return
 	}
+	n.rejectedMoved = true
 	h := uint64(14695981039346656037)
 	for _, x := range [...]uint64{uint64(n.id), uint64(u), n.computes} {
 		h = (h ^ x) * 1099511628211

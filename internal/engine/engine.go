@@ -27,6 +27,22 @@
 // seed therefore yields bit-identical traces at any GOMAXPROCS and any
 // Workers setting.
 //
+// Per-node bookkeeping is slot-indexed: the Roster assigns every member a
+// stable dense slot for its lifetime (deterministically recycled on
+// churn), the timer wheels carry (id, slot) entries, and the hot phases
+// index the flat record table directly — the only ID→slot map probes left
+// sit at the membership boundary and in delivery resolution, where the
+// radio layer's ID-based contract meets the slot world.
+//
+// The compute phase is activity-driven: a node whose last executed round
+// was provably a no-op (core.Node.RoundQuietness) and whose inbox since
+// then is identical — tracked as per-sender (incarnation, message
+// version) signatures maintained during delivery — replays the no-op in
+// O(1) (core.Node.SkipQuietRound / SkipLonelyRound) instead of
+// re-deriving it. Tick cost therefore tracks the active set, not the
+// roster. Params.EagerCompute disables the skip; traces are bit-identical
+// either way, which the conformance suite pins.
+//
 // Phases 2 and 5 read and write disjoint per-node state (core.Node is
 // only ever touched by its own shard's worker; messages are immutable
 // once built), so the fan-out needs no locks.
@@ -35,6 +51,7 @@ package engine
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 
 	"repro/internal/antlist"
@@ -85,6 +102,12 @@ type Params struct {
 	// hold on the collision channel — with fixed phases, two aligned
 	// neighbors would collide deterministically forever.
 	RandomizedSends bool
+	// EagerCompute disables the activity-driven compute skip: every due
+	// node runs its full Compute even when the round is provably a no-op.
+	// The trace is bit-identical either way (the conformance suite pins
+	// this); the flag exists for that differential proof and for
+	// measuring the skip's effect.
+	EagerCompute bool
 	// Seed drives all randomness (mobility, channel, jitter, send
 	// backoff). The same seed reproduces the same execution bit for bit
 	// regardless of Workers.
@@ -110,19 +133,34 @@ func (p *Params) normalize() {
 	}
 }
 
-// resolvedDelivery is one reception with the receiver and message
+// senderVer is one entry of a node's inbox signature: the identity of a
+// delivered message without its content. A sender's broadcast is a pure
+// function of its state version (core.Node.Version), and the incarnation
+// generation disambiguates removed-and-readded nodes whose version
+// counters restart — equal signatures therefore imply byte-identical
+// buffered message sets.
+type senderVer struct {
+	id  ident.NodeID
+	gen uint64 // sender incarnation (engine membership generation at add)
+	ver uint64 // sender state version the delivered broadcast was built at
+}
+
+// resolvedDelivery is one reception with the receiver record and message
 // resolved on the coordinator, so the parallel deliver phase touches no
 // shared maps.
 type resolvedDelivery struct {
-	to  *core.Node
-	msg *core.Message
+	to   *nodeRec
+	msg  *core.Message
+	from senderVer
 }
 
 // shardScratch is one shard's reusable per-tick buffers.
 type shardScratch struct {
-	txs   []radio.Tx
-	bytes int
-	deliv []resolvedDelivery
+	txs     []radio.Tx
+	bytes   int
+	deliv   []resolvedDelivery
+	ran     int // computes executed this tick
+	skipped int // compute boundaries satisfied by the activity skip
 }
 
 // cachedMsg is one node's last built broadcast, valid while the node's
@@ -136,17 +174,18 @@ type cachedMsg struct {
 }
 
 // nodeRec consolidates the engine's per-node bookkeeping — the protocol
-// node, its timer phase, the cached broadcast, the cached receiver set and
-// the recycled fold arena — into one record behind a single map lookup.
-// The previous layout (separate phase / message-cache / receiver-cache
-// maps) paid three map probes per sender per tick; the receiver cache is
-// now invalidated in O(1) by an epoch stamp instead of clearing 64 shard
-// maps. A record's mutable fields are only ever written by its own shard's
-// worker (or by the coordinator between phases), exactly like the maps
-// they replace — the builder in particular is only touched by the record's
-// own Compute.
+// node, its timer phase, the cached broadcast, the cached receiver set,
+// the recycled fold arena and the activity-skip signature — into one
+// slot-indexed record: the hot phases reach it by array index from the
+// wheel entries, with no map probe at all. A record's mutable fields are
+// only ever written by its own shard's worker (or by the coordinator
+// between phases). Records are recycled in place when their slot is:
+// identity-bearing fields reset on reuse, buffers keep their capacity.
 type nodeRec struct {
-	n     *core.Node
+	n   *core.Node
+	id  ident.NodeID // ident.None marks a free slot
+	gen uint64       // incarnation stamp (see senderVer)
+
 	phase int
 
 	cm cachedMsg
@@ -154,10 +193,45 @@ type nodeRec struct {
 	recv      []ident.NodeID
 	recvEpoch uint64
 
+	// rowRef/rowMem validate recv against a RowTopology row: when the
+	// topology serves the same row view (same backing array and length)
+	// under an unchanged membership generation, recv is reused without
+	// touching the topology's spatial index at all — the per-sender fast
+	// path in a mostly-parked world, where delta graph rebuilds share
+	// every untouched row. rowRef aliases read-only topology storage.
+	rowRef []ident.NodeID
+	rowMem uint64
+
 	// bld is the node's recycled antlist fold arena: every Compute of this
 	// record composes its ⊕ fold in here (core.Node.ComputeIn), so the
 	// per-round list machinery allocates only when a list actually changes.
 	bld antlist.Builder
+
+	// Activity-skip state. pending is the inbox signature accumulated
+	// since the last compute boundary (ascending by sender, last write
+	// wins — mirroring core.Node.Receive); consumed is the signature the
+	// last quiet round consumed. When the node's last round was quiet
+	// (armed), its version unmoved since (fixVer), and pending equals
+	// consumed, the next round provably reproduces itself and is skipped.
+	// quiet caches that round's classification (it selects the replay
+	// variant); holdExp is the boundary-memory horizon a QuietHeld replay
+	// is licensed under — the skip stops one round short of the earliest
+	// expiry, so the expiring round always runs in full.
+	pending  []senderVer
+	consumed []senderVer
+	armed    bool
+	quiet    core.Quietness
+	holdExp  uint64
+	fixVer   uint64
+}
+
+// RemovedNode records one departure for the dirty report: the node's
+// identity plus the slot it occupied. The slot may already be recycled by
+// a later addition within the same window — consumers must treat it as
+// "the slot this node held when it left", not as a live index.
+type RemovedNode struct {
+	ID   ident.NodeID
+	Slot int32
 }
 
 // Engine is one running simulation.
@@ -170,9 +244,10 @@ type Engine struct {
 	shardRNGs [NumShards]*rand.Rand
 	tick      int
 
-	// recs is the consolidated per-node bookkeeping (see nodeRec); Nodes
-	// remains the public protocol-node map, maintained in lockstep.
-	recs map[ident.NodeID]*nodeRec
+	// recs is the slot-indexed per-node bookkeeping (see nodeRec), indexed
+	// by roster slot; Nodes remains the public protocol-node map,
+	// maintained in lockstep.
+	recs []nodeRec
 
 	order     *Roster
 	memberGen uint64
@@ -197,21 +272,26 @@ type Engine struct {
 	snap metrics.SnapshotBuilder
 
 	// Dirty-node reporting for incremental observers (obs.GroupTracker):
-	// while enabled, the compute phase appends every node that ran
-	// Compute to its shard's list (shard-local, so the parallel phase
-	// needs no locks), and membership changes are recorded on the
-	// coordinator. DrainDirty hands the accumulated report to the
-	// observer and resets it.
+	// while enabled, the compute phase appends the slot of every node
+	// whose Compute actually ran to its shard's list (shard-local, so the
+	// parallel phase needs no locks; skipped no-op rounds are not
+	// reported — they provably leave the view untouched), and membership
+	// changes are recorded on the coordinator. DrainDirty hands the
+	// accumulated report to the observer and resets it.
 	dirtyOn       bool
-	dirtyComputed [NumShards][]ident.NodeID
+	dirtyComputed [NumShards][]int32
 	dirtyAdded    []ident.NodeID
-	dirtyRemoved  []ident.NodeID
+	dirtyRemoved  []RemovedNode
 
 	// MessagesSent counts broadcasts; BytesSent their encoded sizes;
-	// Deliveries successful receptions.
-	MessagesSent int
-	BytesSent    int
-	Deliveries   int
+	// Deliveries successful receptions. ComputesRun counts protocol
+	// computes executed; ComputesSkipped the compute boundaries satisfied
+	// by the activity-driven skip instead.
+	MessagesSent    int
+	BytesSent       int
+	Deliveries      int
+	ComputesRun     int
+	ComputesSkipped int
 }
 
 // New builds a simulation over the topology with one fresh GRP node per
@@ -222,7 +302,6 @@ func New(p Params, topo Topology) *Engine {
 		P:            p,
 		Topo:         topo,
 		Nodes:        make(map[ident.NodeID]*core.Node),
-		recs:         make(map[ident.NodeID]*nodeRec),
 		rng:          rand.New(rand.NewSource(p.Seed)),
 		order:        NewRoster(),
 		computeWheel: newPeriodicWheel(p.Tc),
@@ -254,21 +333,38 @@ func NewStatic(p Params, g *graph.G) *Engine {
 }
 
 func (e *Engine) addNode(v ident.NodeID) {
-	rec := &nodeRec{n: core.NewNode(v, e.P.Cfg)}
-	rec.cm.ver = ^uint64(0) // no broadcast built yet
-	e.Nodes[v] = rec.n
-	e.recs[v] = rec
-	e.order.Add(v)
+	slot, _ := e.order.Add(v)
 	e.memberGen++
+	if int(slot) >= len(e.recs) {
+		e.recs = append(e.recs, nodeRec{})
+	}
+	rec := &e.recs[slot]
+	// Recycle the record in place: identity-bearing fields reset, buffers
+	// (receiver cache, fold arena, signatures) keep their capacity.
+	rec.n = core.NewNode(v, e.P.Cfg)
+	rec.id = v
+	rec.gen = e.memberGen
+	rec.phase = 0
+	rec.cm = cachedMsg{ver: ^uint64(0)} // no broadcast built yet
+	rec.recv = rec.recv[:0]
+	rec.recvEpoch = 0
+	rec.rowRef = nil
+	rec.rowMem = 0
+	rec.pending = rec.pending[:0]
+	rec.consumed = rec.consumed[:0]
+	rec.armed, rec.quiet, rec.holdExp = false, core.QuietNone, 0
+	rec.fixVer = 0
+	e.Nodes[v] = rec.n
 	if e.P.Jitter {
 		rec.phase = e.rng.Intn(e.P.Tc)
 	}
+	ent := wheelEnt{id: v, slot: slot}
 	if e.P.RandomizedSends {
-		e.sendOneshot.schedule(v, e.tick+e.shardRNGs[shardOf(v)].Intn(e.P.Ts))
+		e.sendOneshot.schedule(ent, e.tick+e.shardRNGs[shardOf(v)].Intn(e.P.Ts))
 	} else {
-		e.sendWheel.add(v, rec.phase)
+		e.sendWheel.add(ent, rec.phase)
 	}
-	e.computeWheel.add(v, rec.phase)
+	e.computeWheel.add(ent, rec.phase)
 	if e.dirtyOn {
 		e.dirtyAdded = append(e.dirtyAdded, v)
 	}
@@ -283,16 +379,16 @@ func (e *Engine) AddNode(v ident.NodeID) {
 	e.addNode(v)
 }
 
-// RemoveNode makes a node leave: it stops sending and computing. The
-// caller removes it from the topology.
+// RemoveNode makes a node leave: it stops sending and computing, and its
+// slot is freed for deterministic recycling. The caller removes it from
+// the topology.
 func (e *Engine) RemoveNode(v ident.NodeID) {
-	rec, ok := e.recs[v]
+	slot, ok := e.order.Remove(v)
 	if !ok {
 		return
 	}
+	rec := &e.recs[slot]
 	delete(e.Nodes, v)
-	delete(e.recs, v)
-	e.order.Remove(v)
 	e.memberGen++
 	if e.P.RandomizedSends {
 		e.sendOneshot.removeEverywhere(v)
@@ -300,8 +396,10 @@ func (e *Engine) RemoveNode(v ident.NodeID) {
 		e.sendWheel.remove(v, rec.phase)
 	}
 	e.computeWheel.remove(v, rec.phase)
+	rec.n = nil
+	rec.id = ident.None
 	if e.dirtyOn {
-		e.dirtyRemoved = append(e.dirtyRemoved, v)
+		e.dirtyRemoved = append(e.dirtyRemoved, RemovedNode{ID: v, Slot: slot})
 	}
 }
 
@@ -312,11 +410,13 @@ func (e *Engine) RemoveNode(v ident.NodeID) {
 func (e *Engine) TrackDirty() { e.dirtyOn = true }
 
 // DrainDirty hands the dirty report accumulated since the previous drain
-// to fn and resets it: computed holds, per engine shard, the nodes whose
-// Compute ran (shard-major canonical order; a node computing k times
-// appears k times), added and removed the membership changes in call
-// order. The slices are only valid during fn.
-func (e *Engine) DrainDirty(fn func(computed [NumShards][]ident.NodeID, added, removed []ident.NodeID)) {
+// to fn and resets it: computed holds, per engine shard, the slots of the
+// nodes whose Compute actually ran (shard-major canonical order; a node
+// computing k times appears k times; skipped no-op rounds are omitted —
+// they leave the view untouched by construction), added the joining IDs
+// and removed the departures with the slot each held, both in call order.
+// The slices are only valid during fn.
+func (e *Engine) DrainDirty(fn func(computed [NumShards][]int32, added []ident.NodeID, removed []RemovedNode)) {
 	fn(e.dirtyComputed, e.dirtyAdded, e.dirtyRemoved)
 	for s := range e.dirtyComputed {
 		e.dirtyComputed[s] = e.dirtyComputed[s][:0]
@@ -336,6 +436,33 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 // roster's backing slice: read-only, valid until the next membership
 // change).
 func (e *Engine) Order() []ident.NodeID { return e.order.IDs() }
+
+// SlotOf returns v's roster slot, or NoSlot when v is not a member —
+// the ID→slot boundary for observers that mirror the engine's
+// slot-indexed bookkeeping.
+func (e *Engine) SlotOf(v ident.NodeID) int32 { return e.order.SlotOf(v) }
+
+// IDAtSlot returns the member occupying slot s, or ident.None when the
+// slot is free or out of range.
+func (e *Engine) IDAtSlot(s int32) ident.NodeID {
+	if s < 0 || int(s) >= len(e.recs) {
+		return ident.None
+	}
+	return e.recs[s].id
+}
+
+// NodeAtSlot returns the protocol node at slot s, or nil when the slot is
+// free or out of range.
+func (e *Engine) NodeAtSlot(s int32) *core.Node {
+	if s < 0 || int(s) >= len(e.recs) {
+		return nil
+	}
+	return e.recs[s].n
+}
+
+// SlotCap returns the roster's slot table size: every live slot is below
+// it, so slot-indexed observer arrays size themselves to it.
+func (e *Engine) SlotCap() int { return e.order.SlotCap() }
 
 // workers resolves the effective fan-out width.
 func (e *Engine) workers() int {
@@ -369,6 +496,30 @@ func (e *Engine) runShards(fn func(s int)) {
 	wg.Wait()
 }
 
+// pendingUpsert records one delivery in a record's inbox signature: one
+// entry per sender, ascending by sender ID, last write wins — mirroring
+// the last-wins semantics of core.Node.Receive, so two equal signatures
+// imply byte-identical buffered message sets. The second result reports
+// that the exact entry was already present, which by the same mirror
+// property proves the inbox already buffers this very message as the
+// sender's last — the caller can elide the store entirely (in a settled
+// world, almost every delivery is such a repeat of an unchanged cached
+// broadcast).
+func pendingUpsert(p []senderVer, sv senderVer) ([]senderVer, bool) {
+	i := sort.Search(len(p), func(i int) bool { return p[i].id >= sv.id })
+	if i < len(p) && p[i].id == sv.id {
+		if p[i] == sv {
+			return p, true
+		}
+		p[i] = sv
+		return p, false
+	}
+	p = append(p, senderVer{})
+	copy(p[i+1:], p[i:])
+	p[i] = sv
+	return p, false
+}
+
 // Step advances one tick through the five phases: advance topology, build
 // due broadcasts, arbitrate the channel, deliver receptions, run due
 // computes.
@@ -379,12 +530,32 @@ func (e *Engine) Step() {
 	// Phase 2: build. The wheel hands each shard exactly its due senders
 	// in canonical order; workers draw send backoffs from their shard's
 	// private stream, so the draw sequence is independent of the worker
-	// count. Broadcasts and receiver sets come from each node's record:
-	// messages revalidate against the node's state version, receiver sets
-	// against the epoch bumped below on any (topology, membership) change.
+	// count. Broadcasts and receiver sets come from each node's
+	// slot-indexed record: messages revalidate against the node's state
+	// version, receiver sets against the epoch bumped below on any
+	// (topology, membership) change.
+	rower, _ := e.Topo.(RowTopology)
 	g := e.Topo.Graph()
 	if g != e.recvG || g.Generation() != e.recvGen || e.memberGen != e.recvMem {
-		e.recvEpoch++
+		// Before invalidating every receiver cache, ask the topology which
+		// rows the change could actually have touched: when the graph
+		// advanced by exactly one delta step over an unchanged roster, only
+		// the returned senders' records are demoted and the overwhelming
+		// majority keeps its current epoch — the per-sender row check in
+		// the shard loop below never even runs for them.
+		dirty, ok := []ident.NodeID(nil), false
+		if rower != nil && e.recvG != nil && e.memberGen == e.recvMem {
+			dirty, ok = rower.RowsChanged(e.recvG)
+		}
+		if ok {
+			for _, v := range dirty {
+				if s := e.order.SlotOf(v); s >= 0 && e.recs[s].recvEpoch == e.recvEpoch {
+					e.recs[s].recvEpoch--
+				}
+			}
+		} else {
+			e.recvEpoch++
+		}
 		e.recvG, e.recvGen, e.recvMem = g, g.Generation(), e.memberGen
 	}
 	var due *shardBuckets
@@ -397,33 +568,53 @@ func (e *Engine) Step() {
 		sc := &e.scratch[s]
 		sc.txs = sc.txs[:0]
 		sc.bytes = 0
-		for _, v := range due[s] {
-			rec, ok := e.recs[v]
-			if !ok {
-				continue
+		for _, ent := range due[s] {
+			rec := &e.recs[ent.slot]
+			if rec.id != ent.id {
+				continue // defensive: wheels are maintained on removal
 			}
 			if e.P.RandomizedSends {
-				e.sendOneshot.schedule(v, e.tick+1+e.shardRNGs[s].Intn(e.P.Ts))
+				e.sendOneshot.schedule(ent, e.tick+1+e.shardRNGs[s].Intn(e.P.Ts))
 			}
 			if rec.recvEpoch != e.recvEpoch {
-				// Refill the record's recycled slice and drop dead nodes
-				// in place. Reuse is safe: transmissions referencing the
-				// old backing were consumed within their own tick.
-				buf := e.Topo.AppendReceivers(v, rec.recv[:0])
-				live := buf[:0]
-				for _, u := range buf {
-					if _, alive := e.recs[u]; alive {
-						live = append(live, u)
+				// The receiver cache is stale on the coarse key (graph or
+				// membership changed somewhere). Before re-deriving, try the
+				// fine-grained row check: a RowTopology serving the very
+				// same row under the same membership generation proves this
+				// sender's receiver set is untouched.
+				if row, ok := rowFor(rower, ent.id); ok {
+					if !(rec.rowMem == e.memberGen && sameRow(rec.rowRef, row)) {
+						live := rec.recv[:0]
+						for _, u := range row {
+							if e.order.SlotOf(u) >= 0 {
+								live = append(live, u)
+							}
+						}
+						rec.recv = live
+						rec.rowRef = row
+						rec.rowMem = e.memberGen
 					}
+				} else {
+					// Refill the record's recycled slice and drop dead nodes
+					// in place. Reuse is safe: transmissions referencing the
+					// old backing were consumed within their own tick.
+					buf := e.Topo.AppendReceivers(ent.id, rec.recv[:0])
+					live := buf[:0]
+					for _, u := range buf {
+						if e.order.SlotOf(u) >= 0 {
+							live = append(live, u)
+						}
+					}
+					rec.recv = live
+					rec.rowRef = nil
 				}
-				rec.recv = live
 				rec.recvEpoch = e.recvEpoch
 			}
 			if rec.cm.ver != rec.n.Version() {
 				m := rec.n.BuildMessage()
 				rec.cm = cachedMsg{m: m, size: m.EncodedSize(), ver: rec.n.Version()}
 			}
-			sc.txs = append(sc.txs, radio.Tx{Sender: v, Receivers: rec.recv})
+			sc.txs = append(sc.txs, radio.Tx{Sender: ent.id, Receivers: rec.recv})
 			sc.bytes += rec.cm.size
 		}
 	})
@@ -455,21 +646,22 @@ func (e *Engine) Step() {
 		}
 
 		// Phase 4: deliver. Receptions are partitioned by receiver shard
-		// on the coordinator — with the receiver node and sender message
-		// resolved up front — then stored in parallel: each node's inbox
-		// is only ever touched by its own shard's worker, which no longer
-		// probes any shared map.
+		// on the coordinator — with the receiver record and sender message
+		// resolved up front (the two ID→slot probes here are the radio
+		// contract's boundary) — then stored in parallel: each node's
+		// inbox and signature are only ever touched by its own shard's
+		// worker.
 		for s := range e.scratch {
 			e.scratch[s].deliv = e.scratch[s].deliv[:0]
 		}
 		for _, d := range deliveries {
-			to, ok := e.recs[d.To]
-			if !ok {
+			toSlot := e.order.SlotOf(d.To)
+			if toSlot < 0 {
 				continue
 			}
 			e.Deliveries++
-			from, ok := e.recs[d.From]
-			if !ok {
+			fromSlot := e.order.SlotOf(d.From)
+			if fromSlot < 0 {
 				// A channel implementation fabricated or replayed a
 				// delivery from a sender that is no longer (or never was)
 				// live: count it, deliver nothing — the pre-rewrite
@@ -477,30 +669,120 @@ func (e *Engine) Step() {
 				// Receive dropped.
 				continue
 			}
+			from := &e.recs[fromSlot]
 			sc := &e.scratch[shardOf(d.To)]
-			sc.deliv = append(sc.deliv, resolvedDelivery{to: to.n, msg: &from.cm.m})
+			sc.deliv = append(sc.deliv, resolvedDelivery{
+				to:   &e.recs[toSlot],
+				msg:  &from.cm.m,
+				from: senderVer{id: d.From, gen: from.gen, ver: from.cm.ver},
+			})
 		}
 		e.runShards(func(s int) {
 			for _, d := range e.scratch[s].deliv {
-				d.to.Receive(*d.msg)
+				if d.from.ver == ^uint64(0) {
+					// An unbuilt broadcast (fabricated delivery) is a zero
+					// Message that Receive drops; it never enters the
+					// inbox, so it must not enter the signature either.
+					d.to.n.ReceiveRef(d.msg)
+					continue
+				}
+				var dup bool
+				d.to.pending, dup = pendingUpsert(d.to.pending, d.from)
+				if !dup {
+					d.to.n.ReceiveRef(d.msg)
+				}
 			}
 		})
 	}
 
-	// Phase 5: compute.
+	// Phase 5: compute, activity-driven. A node runs its full Compute
+	// unless its last executed round was quiet (armed), its state version
+	// is untouched since (fixVer — LoadState and any other external
+	// mutation disarm via this), and the inbox signature of this window
+	// equals the one the quiet round consumed — in which case the round
+	// provably reproduces itself and is replayed in O(1).
 	cdue := e.computeWheel.due(e.tick)
 	e.runShards(func(s int) {
-		for _, v := range cdue[s] {
-			if rec, ok := e.recs[v]; ok {
-				rec.n.ComputeIn(&rec.bld)
-				if e.dirtyOn {
-					e.dirtyComputed[s] = append(e.dirtyComputed[s], v)
+		sc := &e.scratch[s]
+		sc.ran, sc.skipped = 0, 0
+		for _, ent := range cdue[s] {
+			rec := &e.recs[ent.slot]
+			if rec.id != ent.id {
+				continue // defensive: wheels are maintained on removal
+			}
+			if !e.P.EagerCompute && rec.armed && rec.n.Version() == rec.fixVer &&
+				(rec.quiet != core.QuietHeld || rec.n.Computes() < rec.holdExp) &&
+				senderVersEqual(rec.pending, rec.consumed) {
+				switch rec.quiet {
+				case core.QuietLonely:
+					rec.n.SkipLonelyRound()
+				case core.QuietHeld:
+					rec.n.SkipHeldRound()
+				default:
+					rec.n.SkipQuietRound()
 				}
+				rec.fixVer = rec.n.Version()
+				rec.pending = rec.pending[:0]
+				sc.skipped++
+				continue
+			}
+			rec.n.ComputeIn(&rec.bld)
+			if q := rec.n.RoundQuietness(); q != core.QuietNone {
+				rec.pending, rec.consumed = rec.consumed[:0], rec.pending
+				rec.armed = true
+				rec.quiet = q
+				if q == core.QuietHeld {
+					rec.holdExp = rec.n.HoldHorizon()
+				}
+			} else {
+				rec.armed = false
+				rec.pending = rec.pending[:0]
+			}
+			rec.fixVer = rec.n.Version()
+			sc.ran++
+			if e.dirtyOn {
+				e.dirtyComputed[s] = append(e.dirtyComputed[s], ent.slot)
 			}
 		}
 	})
+	for s := range e.scratch {
+		e.ComputesRun += e.scratch[s].ran
+		e.ComputesSkipped += e.scratch[s].skipped
+	}
 
 	e.tick++
+}
+
+// rowFor fetches the receiver row view from a RowTopology, tolerating a
+// topology that serves no rows (nil rower or a false return).
+func rowFor(rower RowTopology, v ident.NodeID) ([]ident.NodeID, bool) {
+	if rower == nil {
+		return nil, false
+	}
+	return rower.ReceiverRow(v)
+}
+
+// sameRow reports whether two row views are the same storage: identical
+// length and, when non-empty, identical backing. Rows are immutable once
+// shared, so identity implies identical content.
+func sameRow(a, b []ident.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return len(a) == 0 || &a[0] == &b[0]
+}
+
+// senderVersEqual reports whether two inbox signatures are identical.
+func senderVersEqual(a, b []senderVer) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // StepTicks advances k ticks.

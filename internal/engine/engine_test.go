@@ -177,7 +177,7 @@ func TestWheelsMatchModuloScan(t *testing.T) {
 	w := newPeriodicWheel(period)
 	phases := map[ident.NodeID]int{1: 0, 2: 1, 3: 4, 4: 0, 70: 3, 130: 3}
 	for v, p := range phases {
-		w.add(v, p)
+		w.add(wheelEnt{id: v, slot: int32(v)}, p)
 	}
 	for tick := 0; tick < 3*period; tick++ {
 		want := map[ident.NodeID]bool{}
@@ -189,7 +189,7 @@ func TestWheelsMatchModuloScan(t *testing.T) {
 		got := map[ident.NodeID]bool{}
 		for _, b := range w.due(tick) {
 			for _, v := range b {
-				got[v] = true
+				got[v.id] = true
 			}
 		}
 		if len(got) != len(want) {
@@ -204,7 +204,7 @@ func TestWheelsMatchModuloScan(t *testing.T) {
 	w.remove(70, phases[70])
 	for _, b := range w.due(2) { // slot of phase 3 at period 5
 		for _, v := range b {
-			if v == 70 {
+			if v.id == 70 {
 				t.Fatal("removed node still scheduled")
 			}
 		}

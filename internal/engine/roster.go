@@ -6,49 +6,92 @@ import (
 	"repro/internal/ident"
 )
 
-// Roster is an incrementally maintained, ascending-ordered node
-// membership: the replacement for re-sorting the whole node set every
-// time a canonical order is needed. Insertions and removals keep the
-// slice sorted (O(n) memmove, but membership churn is rare next to the
-// per-tick hot path, which only ever reads). It is not goroutine-safe;
-// the engine mutates it only between phases and the live runtime guards
-// it with the cluster lock.
+// NoSlot is the Roster's "not a member" slot value.
+const NoSlot = int32(-1)
+
+// Roster is the engine's membership structure: an incrementally
+// maintained ascending node order fused with a stable dense slot
+// allocator. Every member owns a small-int slot for its lifetime, so the
+// per-tick hot paths (records, wheels, dirty reports, observer caches)
+// index flat arrays instead of probing per-node maps; the only remaining
+// ID→slot map probe sits at the membership boundary (SlotOf).
+//
+// Slot discipline: slots are handed out densely (0, 1, 2, …) and freed
+// slots are recycled lowest-first. Membership only ever changes on the
+// coordinator between phases, so the recycling order — and with it every
+// slot assignment — is a deterministic function of the Add/Remove call
+// sequence, independent of the worker count.
+//
+// It is not goroutine-safe; the engine mutates it only between phases and
+// the live runtime guards it with the cluster lock.
 type Roster struct {
-	ids []ident.NodeID
-	set map[ident.NodeID]bool
+	ids    []ident.NodeID         // ascending membership (canonical order)
+	slots  map[ident.NodeID]int32 // membership + ID→slot, one invariant
+	bySlot []ident.NodeID         // slot → ID; ident.None marks a free slot
+	free   []int32                // min-heap of freed slots (lowest recycles first)
 }
 
 // NewRoster returns an empty roster.
 func NewRoster() *Roster {
-	return &Roster{set: make(map[ident.NodeID]bool)}
+	return &Roster{slots: make(map[ident.NodeID]int32)}
 }
 
-// Add inserts v keeping the order; it reports whether v was new.
-func (r *Roster) Add(v ident.NodeID) bool {
-	if r.set[v] {
-		return false
+// Add inserts v keeping the order and assigns it a slot (recycling the
+// lowest freed one, else growing the table). It returns the slot and
+// whether v was new; adding an existing member returns its current slot.
+func (r *Roster) Add(v ident.NodeID) (int32, bool) {
+	if s, ok := r.slots[v]; ok {
+		return s, false
 	}
-	r.set[v] = true
+	var s int32
+	if len(r.free) > 0 {
+		s = heapPop(&r.free)
+	} else {
+		s = int32(len(r.bySlot))
+		r.bySlot = append(r.bySlot, ident.None)
+	}
+	r.bySlot[s] = v
+	r.slots[v] = s
 	i := sort.Search(len(r.ids), func(i int) bool { return r.ids[i] >= v })
 	r.ids = append(r.ids, 0)
 	copy(r.ids[i+1:], r.ids[i:])
 	r.ids[i] = v
-	return true
+	return s, true
 }
 
-// Remove deletes v; it reports whether v was present.
-func (r *Roster) Remove(v ident.NodeID) bool {
-	if !r.set[v] {
-		return false
+// Remove deletes v and frees its slot for recycling. It returns the freed
+// slot and whether v was present.
+func (r *Roster) Remove(v ident.NodeID) (int32, bool) {
+	s, ok := r.slots[v]
+	if !ok {
+		return NoSlot, false
 	}
-	delete(r.set, v)
+	delete(r.slots, v)
+	r.bySlot[s] = ident.None
+	heapPush(&r.free, s)
 	i := sort.Search(len(r.ids), func(i int) bool { return r.ids[i] >= v })
 	r.ids = append(r.ids[:i], r.ids[i+1:]...)
-	return true
+	return s, true
 }
 
 // Has reports membership.
-func (r *Roster) Has(v ident.NodeID) bool { return r.set[v] }
+func (r *Roster) Has(v ident.NodeID) bool { _, ok := r.slots[v]; return ok }
+
+// SlotOf returns v's slot, or NoSlot when v is not a member.
+func (r *Roster) SlotOf(v ident.NodeID) int32 {
+	if s, ok := r.slots[v]; ok {
+		return s
+	}
+	return NoSlot
+}
+
+// IDAt returns the member occupying slot s, or ident.None when the slot
+// is free. s must be < SlotCap.
+func (r *Roster) IDAt(s int32) ident.NodeID { return r.bySlot[s] }
+
+// SlotCap returns the slot table size: every live slot is < SlotCap, so
+// it is the length consumers size their slot-indexed arrays to.
+func (r *Roster) SlotCap() int { return len(r.bySlot) }
 
 // Len returns the member count.
 func (r *Roster) Len() int { return len(r.ids) }
@@ -57,3 +100,46 @@ func (r *Roster) Len() int { return len(r.ids) }
 // backing store: callers must not mutate it and must copy it if they keep
 // it across an Add or Remove.
 func (r *Roster) IDs() []ident.NodeID { return r.ids }
+
+// heapPush / heapPop maintain the free list as a binary min-heap, so the
+// lowest freed slot is always recycled first and the table stays dense
+// under churn.
+func heapPush(h *[]int32, x int32) {
+	*h = append(*h, x)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[p] <= s[i] {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+}
+
+func heapPop(h *[]int32) int32 {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(s) && s[l] < s[m] {
+			m = l
+		}
+		if r < len(s) && s[r] < s[m] {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return top
+}

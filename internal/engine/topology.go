@@ -38,6 +38,33 @@ type Topology interface {
 	Nodes() []ident.NodeID
 }
 
+// RowTopology is an optional refinement of Topology: a topology whose
+// receiver sets can be served as stable read-only slices ("rows") lets
+// the engine skip the per-sender receiver re-derivation entirely when
+// the row is identical — same backing array, same length — to the one
+// the sender's cached receiver set was filtered from. Delta-incremental
+// graph rebuilds share untouched rows between generations, so in a
+// mostly-parked world almost every sender hits this cache even though
+// the graph pointer changes every tick.
+type RowTopology interface {
+	// ReceiverRow returns the receiver set of v as a read-only view and
+	// true, or (nil, false) when the topology cannot serve rows in its
+	// current configuration (the caller must then fall back to
+	// AppendReceivers). A (nil, true) return means v currently has no
+	// receivers. The view must stay valid and immutable for as long as
+	// the topology shares it, and must only be returned when row
+	// identity implies receiver-set identity.
+	ReceiverRow(v ident.NodeID) ([]ident.NodeID, bool)
+	// RowsChanged returns (a superset of) the nodes whose receiver row
+	// may differ between the graph since and the current Graph(), plus
+	// true — or (nil, false) when no such delta record exists (full
+	// rebuild, roster change, rows unservable). With a true return the
+	// engine invalidates only the listed senders' receiver caches
+	// instead of every record; correctness therefore requires that any
+	// node absent from the slice has an identical row in both graphs.
+	RowsChanged(since *graph.G) ([]ident.NodeID, bool)
+}
+
 // StaticTopology is a fixed graph (possibly mutated between ticks by the
 // experiment itself, e.g. to inject a link cut).
 type StaticTopology struct{ G *graph.G }
@@ -101,6 +128,16 @@ func (t *SpatialTopology) Receivers(v ident.NodeID) []ident.NodeID { return t.Wo
 // AppendReceivers implements Topology without allocating.
 func (t *SpatialTopology) AppendReceivers(v ident.NodeID, buf []ident.NodeID) []ident.NodeID {
 	return t.World.AppendReceivers(v, buf)
+}
+
+// ReceiverRow implements RowTopology via the world's symmetric-graph row.
+func (t *SpatialTopology) ReceiverRow(v ident.NodeID) ([]ident.NodeID, bool) {
+	return t.World.ReceiverRow(v)
+}
+
+// RowsChanged implements RowTopology via the world's delta-rebuild record.
+func (t *SpatialTopology) RowsChanged(since *graph.G) ([]ident.NodeID, bool) {
+	return t.World.RowsChanged(since)
 }
 
 // Nodes implements Topology.

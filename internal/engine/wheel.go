@@ -10,10 +10,19 @@ import (
 // node ("is (tick+phase) mod T zero?") with O(1) bucket lookups: a tick
 // reads exactly the nodes that are due, pre-partitioned by shard so the
 // build and compute phases can hand each bucket list straight to its
-// worker without sorting or re-slicing anything.
+// worker without sorting or re-slicing anything. Entries carry the node's
+// roster slot alongside its ID, so the hot phases index the engine's
+// slot-indexed record table directly instead of probing a map per due
+// node.
+
+// wheelEnt is one scheduled node: its identity plus its roster slot.
+type wheelEnt struct {
+	id   ident.NodeID
+	slot int32
+}
 
 // shardBuckets holds one wheel slot's due nodes, split by shard.
-type shardBuckets [NumShards][]ident.NodeID
+type shardBuckets [NumShards][]wheelEnt
 
 // periodicWheel schedules fixed-period, fixed-phase timers (the Ts send
 // timer and the Tc compute timer): a node with phase p and period T is
@@ -35,10 +44,10 @@ func (w *periodicWheel) slotOf(phase int) int {
 }
 
 // add registers v with the given timer phase.
-func (w *periodicWheel) add(v ident.NodeID, phase int) {
-	b := &w.slots[w.slotOf(phase)][shardOf(v)]
-	i := sort.Search(len(*b), func(i int) bool { return (*b)[i] >= v })
-	*b = append(*b, 0)
+func (w *periodicWheel) add(v wheelEnt, phase int) {
+	b := &w.slots[w.slotOf(phase)][shardOf(v.id)]
+	i := sort.Search(len(*b), func(i int) bool { return (*b)[i].id >= v.id })
+	*b = append(*b, wheelEnt{})
 	copy((*b)[i+1:], (*b)[i:])
 	(*b)[i] = v
 }
@@ -46,8 +55,8 @@ func (w *periodicWheel) add(v ident.NodeID, phase int) {
 // remove deregisters v (phase must match the phase it was added with).
 func (w *periodicWheel) remove(v ident.NodeID, phase int) {
 	b := &w.slots[w.slotOf(phase)][shardOf(v)]
-	i := sort.Search(len(*b), func(i int) bool { return (*b)[i] >= v })
-	if i < len(*b) && (*b)[i] == v {
+	i := sort.Search(len(*b), func(i int) bool { return (*b)[i].id >= v })
+	if i < len(*b) && (*b)[i].id == v {
 		*b = append((*b)[:i], (*b)[i+1:]...)
 	}
 }
@@ -75,8 +84,8 @@ func newOneshotWheel(horizon int) *oneshotWheel {
 
 // schedule arms v to fire at tick `at`. Only v's shard's bucket is
 // touched, so concurrent schedule calls for different shards are safe.
-func (w *oneshotWheel) schedule(v ident.NodeID, at int) {
-	b := &w.slots[at%len(w.slots)][shardOf(v)]
+func (w *oneshotWheel) schedule(v wheelEnt, at int) {
+	b := &w.slots[at%len(w.slots)][shardOf(v.id)]
 	*b = append(*b, v)
 }
 
@@ -103,7 +112,7 @@ func (w *oneshotWheel) removeEverywhere(v ident.NodeID) {
 		b := w.slots[si][sh]
 		out := b[:0]
 		for _, u := range b {
-			if u != v {
+			if u.id != v {
 				out = append(out, u)
 			}
 		}

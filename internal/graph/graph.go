@@ -330,6 +330,24 @@ func (g *G) NumNodes() int { return len(g.nodes) }
 // NumEdges returns the undirected edge count.
 func (g *G) NumEdges() int { return g.edges }
 
+// IndexOf returns v's dense internal index, in [0, NumNodes), or -1 when
+// v is not in the graph. Indices are stable for the lifetime of one graph
+// value (node removal recycles them, and a rebuilt graph renumbers), so
+// callers may use them for graph-lifetime scratch arrays but must not
+// carry them across a Generation change or to another graph.
+func (g *G) IndexOf(v ident.NodeID) int32 {
+	i, ok := g.idx[v]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// NeighborsAt is NeighborsView by internal index (see IndexOf): the
+// map-free adjacency access for index-based scans. i must be a valid
+// index for this graph.
+func (g *G) NeighborsAt(i int32) []ident.NodeID { return g.adj[i] }
+
 // Neighbors returns v's neighbors in ascending order (a fresh copy).
 func (g *G) Neighbors(v ident.NodeID) []ident.NodeID {
 	i, ok := g.idx[v]

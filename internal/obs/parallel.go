@@ -68,23 +68,24 @@ func (t *GroupTracker) runSlots(n int, fn func(i, w int)) {
 
 // workerScratch is one worker's reusable evaluation buffers: array-based
 // BFS state for the small groups the Dmax bound produces, with a
-// map-based fallback for pathological sizes.
+// graph-indexed fallback for pathological sizes. The fallback arrays are
+// indexed by the graph's dense node index (graph.G.IndexOf) and
+// epoch-stamped, so reuse across evaluations costs two counter bumps
+// instead of rebuilding (or clearing) per-evaluation maps.
 type workerScratch struct {
 	dist  []int          // distance per member index, -1 = unreached
 	queue []int          // member-index frontier
 	ubuf  []ident.NodeID // union-of-two-groups member buffer
 
-	set   map[ident.NodeID]bool // fallback: membership of the evaluated group
-	mdist map[ident.NodeID]int
-	mq    []ident.NodeID
+	memberEpoch []uint32 // graph index → epoch last marked a member
+	distEpoch   []uint32 // graph index → epoch last reached
+	gdist       []int32  // graph index → BFS distance (valid under distEpoch)
+	iq          []int32  // graph-index frontier
+	mEpoch      uint32   // current membership epoch (one per evaluation)
+	dEpoch      uint32   // current distance epoch (one per BFS source)
 }
 
-func newWorkerScratch() *workerScratch {
-	return &workerScratch{
-		set:   make(map[ident.NodeID]bool),
-		mdist: make(map[ident.NodeID]int),
-	}
-}
+func newWorkerScratch() *workerScratch { return &workerScratch{} }
 
 // smallGroup is the member count up to which the induced-diameter BFS
 // runs on index arrays with linear membership scans — no map traffic.
@@ -149,38 +150,61 @@ func (w *workerScratch) stretched(g *graph.G, members []ident.NodeID, dmax int) 
 	return false
 }
 
-// stretchedLarge is the map-based fallback for oversized groups.
+// stretchedLarge is the fallback for oversized groups: BFS over the
+// graph's dense node indices with epoch-stamped scratch arrays — no map
+// beyond the one IndexOf probe per member and per visited edge.
 func (w *workerScratch) stretchedLarge(g *graph.G, members []ident.NodeID, dmax int) bool {
-	clear(w.set)
+	if n := g.NumNodes(); len(w.memberEpoch) < n {
+		w.memberEpoch = make([]uint32, n)
+		w.distEpoch = make([]uint32, n)
+		w.gdist = make([]int32, n)
+		w.mEpoch, w.dEpoch = 0, 0
+	}
+	w.mEpoch++
+	if w.mEpoch == 0 { // wrapped: stale stamps could collide — reset
+		clear(w.memberEpoch)
+		w.mEpoch = 1
+	}
+	k := len(members)
 	for _, v := range members {
-		w.set[v] = true
+		i := g.IndexOf(v)
+		if i < 0 {
+			// A member absent from the graph (it departed; ΠT evaluates
+			// the previous partition against the new topology) is
+			// unreachable from the others, so the group is stretched.
+			return true
+		}
+		w.memberEpoch[i] = w.mEpoch
 	}
 	for _, src := range members {
-		clear(w.mdist)
-		w.mq = append(w.mq[:0], src)
-		w.mdist[src] = 0
-		over := false
-		for qi := 0; qi < len(w.mq); qi++ {
-			v := w.mq[qi]
-			dv := w.mdist[v]
-			g.ForEachNeighbor(v, func(u ident.NodeID) {
-				if !w.set[u] || over {
-					return
+		w.dEpoch++
+		if w.dEpoch == 0 {
+			clear(w.distEpoch)
+			w.dEpoch = 1
+		}
+		si := g.IndexOf(src)
+		w.distEpoch[si] = w.dEpoch
+		w.gdist[si] = 0
+		w.iq = append(w.iq[:0], si)
+		reached := 1
+		for qi := 0; qi < len(w.iq); qi++ {
+			vi := w.iq[qi]
+			dv := int(w.gdist[vi])
+			for _, u := range g.NeighborsAt(vi) {
+				ui := g.IndexOf(u)
+				if w.memberEpoch[ui] != w.mEpoch || w.distEpoch[ui] == w.dEpoch {
+					continue
 				}
-				if _, seen := w.mdist[u]; !seen {
-					if dv+1 > dmax {
-						over = true
-						return
-					}
-					w.mdist[u] = dv + 1
-					w.mq = append(w.mq, u)
+				if dv+1 > dmax {
+					return true
 				}
-			})
-			if over {
-				return true
+				w.distEpoch[ui] = w.dEpoch
+				w.gdist[ui] = int32(dv + 1)
+				w.iq = append(w.iq, ui)
+				reached++
 			}
 		}
-		if len(w.mdist) != len(members) {
+		if reached != k {
 			return true
 		}
 	}

@@ -14,6 +14,14 @@
 // moved), instead of the oracle's O(n·k̄²) full re-derivation with a map
 // and a canonical string per node.
 //
+// Per-node bookkeeping is slot-indexed, mirroring the engine's roster
+// slots (engine.Engine.SlotOf): the per-node cache, the affected-set
+// epoch stamps and the shard worklists index flat arrays by slot, and the
+// dirty report feeds slots straight through, so the steady-state round
+// touches no per-node map at all. ID-keyed lookups survive only where an
+// ID may legitimately not be a member: view contents (a view can retain a
+// departed node) and the watcher/group indexes keyed by them.
+//
 // Parallel phases follow the engine's discipline (see parallel.go): work
 // is sharded by NodeID into engine.NumShards fixed shards or into
 // slot-indexed worklists, every parallel callback writes only shard- or
@@ -73,16 +81,32 @@ type RoundStats struct {
 	Deliveries   int `json:"delivs"`
 }
 
-// nodeState is the tracker's per-node cache.
+// nodeState is the tracker's per-node cache, held in a slot-indexed array
+// mirroring the engine's roster slots. id identifies the occupant
+// (ident.None marks a free slot — slots recycle under churn, so every
+// slot-derived access validates against it).
 type nodeState struct {
+	id       ident.NodeID
 	viewVer  uint64         // core.Node.ViewVersion at last extraction
 	view     []ident.NodeID // the node's own view, ascending (replaced, never mutated)
 	viewHash uint64         // commutative hash of view
 	selfIn   bool           // v ∈ view_v
 	nbrs     []ident.NodeID // neighborhood in the restricted graph, ascending
+	nbrSlots []int32        // engine slot per nbrs entry (same index)
 	grp      *group         // current Ω record
 	good     bool           // local agreement check holds (Ω = view)
 	born     int            // round the state was created (suppresses ΠC on arrival)
+}
+
+// memberRef pairs a live node's identity with its engine slot: the shape
+// the shard worklists, watcher sets and the affected set carry, so
+// downstream phases index the slot array directly while every
+// canonical-order decision still compares IDs. A ref is valid while
+// nodes[slot].id == id; holders that can outlive the referent (the
+// affected set, across in-window churn) re-validate before use.
+type memberRef struct {
+	id   ident.NodeID
+	slot int32
 }
 
 // group is one Ω record. Its membership is immutable: any partition
@@ -121,10 +145,11 @@ type GroupTracker struct {
 	round  int
 	synced bool
 
-	nodes    map[ident.NodeID]*nodeState
-	watchers map[ident.NodeID]map[ident.NodeID]struct{} // u → {w : u ∈ view_w}
-	groups   map[ident.NodeID]*group                    // representative → current record
-	byShard  [engine.NumShards][]ident.NodeID           // live nodes, ascending per shard
+	nodes    []nodeState                   // engine slot → cache (id validates)
+	affEpoch []int                         // engine slot → round last marked affected
+	watchers map[ident.NodeID][]memberRef  // u → {w : u ∈ view_w}, ascending by watcher
+	groups   map[ident.NodeID]*group       // representative → current record
+	byShard  [engine.NumShards][]memberRef // live nodes, ascending per shard
 
 	// Aggregates over the live partition, maintained on every record
 	// create/destroy and verdict flip — never recomputed by scanning.
@@ -157,31 +182,30 @@ type GroupTracker struct {
 	// Scratch (coordinator-owned).
 	shards   [engine.NumShards]trackerShard
 	ws       []*workerScratch
-	affected []ident.NodeID
-	affEpoch map[ident.NodeID]int
+	affected []memberRef
 	added    []ident.NodeID
-	removed  []ident.NodeID
+	removed  []engine.RemovedNode
 	reborn   []rebornRec
 	evalList []*group
 	pending  []pairEntry
 	pairList []pairKey
 	boolRes  []bool
 	regroup  []regroupRes
-	vbuf     []ident.NodeID
 }
 
 // trackerShard is one shard's parallel-phase output buffers.
 type trackerShard struct {
-	topoDirty []ident.NodeID
+	topoDirty []int32 // slots whose neighborhood changed
 	changed   []changeRec
 	degSum    int
 	nee       int
 	pairs     []pairEntry
-	extract   []ident.NodeID // extraction candidates (computed ∪ added)
+	extract   []int32 // extraction-candidate slots (computed ∪ added)
 	vbuf      []ident.NodeID
 }
 
 type changeRec struct {
+	slot    int32
 	v       ident.NodeID
 	oldView []ident.NodeID
 }
@@ -216,12 +240,10 @@ func NewGroupTracker(e *engine.Engine) *GroupTracker {
 		e:         e,
 		dmax:      e.P.Cfg.Dmax,
 		workers:   w,
-		nodes:     make(map[ident.NodeID]*nodeState),
-		watchers:  make(map[ident.NodeID]map[ident.NodeID]struct{}),
+		watchers:  make(map[ident.NodeID][]memberRef),
 		groups:    make(map[ident.NodeID]*group),
 		pairCache: make(map[pairKey]pairVerdict),
 		pairSpare: make(map[pairKey]pairVerdict),
-		affEpoch:  make(map[ident.NodeID]int),
 	}
 	t.ws = make([]*workerScratch, w)
 	for i := range t.ws {
@@ -229,6 +251,21 @@ func NewGroupTracker(e *engine.Engine) *GroupTracker {
 	}
 	e.TrackDirty()
 	return t
+}
+
+// state resolves a live node's cache by ID, or nil when v is not a
+// member. Used only where the ID may legitimately be dead (view
+// contents); slot-carrying paths index t.nodes directly.
+func (t *GroupTracker) state(v ident.NodeID) *nodeState {
+	s := t.e.SlotOf(v)
+	if s < 0 {
+		return nil
+	}
+	st := &t.nodes[s]
+	if st.id != v {
+		return nil
+	}
+	return st
 }
 
 // Observe processes everything that happened since the previous call
@@ -240,14 +277,19 @@ func (t *GroupTracker) Observe() RoundStats {
 	t.round++
 	first := !t.synced
 
-	// Phase 0: drain the engine's dirty report. On the first observation
-	// the report is discarded and every live node is treated as added.
+	// Phase 0: size the slot-indexed arrays to the engine's slot table
+	// and drain the dirty report. On the first observation the report is
+	// discarded and every live node is treated as added.
+	if c := t.e.SlotCap(); len(t.nodes) < c {
+		t.nodes = append(t.nodes, make([]nodeState, c-len(t.nodes))...)
+		t.affEpoch = append(t.affEpoch, make([]int, c-len(t.affEpoch))...)
+	}
 	t.added = t.added[:0]
 	t.removed = t.removed[:0]
 	for s := range t.shards {
 		t.shards[s].extract = t.shards[s].extract[:0]
 	}
-	t.e.DrainDirty(func(computed [engine.NumShards][]ident.NodeID, added, removed []ident.NodeID) {
+	t.e.DrainDirty(func(computed [engine.NumShards][]int32, added []ident.NodeID, removed []engine.RemovedNode) {
 		if first {
 			return
 		}
@@ -261,6 +303,7 @@ func (t *GroupTracker) Observe() RoundStats {
 		t.added = append(t.added, t.e.Order()...)
 		t.synced = true
 	}
+	memberChurn := len(t.added) > 0 || len(t.removed) > 0
 
 	g := t.e.SnapshotGraph()
 	topoChanged := first || g != t.prevG || g.Generation() != t.prevGen
@@ -271,16 +314,20 @@ func (t *GroupTracker) Observe() RoundStats {
 
 	// Phase 1 (sequential): membership. Removals first — a node that was
 	// removed and re-added inside the window is a state reset (drop the
-	// cache, let the addition path recreate it).
+	// cache, let the addition path recreate it, possibly on a different
+	// slot).
 	t.reborn = t.reborn[:0]
 	for _, r := range t.removed {
-		st := t.nodes[r]
-		if st == nil {
-			continue // never tracked, or duplicate report
+		if int(r.Slot) >= len(t.nodes) {
+			continue
 		}
-		if _, live := t.e.Nodes[r]; live {
-			t.added = append(t.added, r)
-			t.reborn = append(t.reborn, rebornRec{v: r, old: st.grp.members})
+		st := &t.nodes[r.Slot]
+		if st.id != r.ID {
+			continue // never tracked, or the slot was never synced
+		}
+		if t.e.SlotOf(r.ID) >= 0 {
+			t.added = append(t.added, r.ID)
+			t.reborn = append(t.reborn, rebornRec{v: r.ID, old: st.grp.members})
 		} else if len(st.grp.members) > 1 {
 			// A member departing from a non-singleton group breaks ΠT
 			// outright: its distance to the others is infinite in the new
@@ -289,58 +336,90 @@ func (t *GroupTracker) Observe() RoundStats {
 			piTBroken = true
 			st.grp.topoGen++
 		}
-		for _, w := range t.watcherList(r) {
+		// The watcher refs are valid here: a watcher removed earlier in
+		// this loop already dropped itself from every set, and one not yet
+		// processed still owns its cache slot. Stale refs marked now are
+		// re-validated when the affected set is finalized.
+		for _, w := range t.watchers[r.ID] {
 			t.markAffected(w)
 		}
 		if !st.good {
 			t.badNodes--
 		}
 		t.detach(st.grp)
-		t.dropWatcher(st.view, r)
-		delete(t.nodes, r)
-		delete(t.affEpoch, r)
-		t.shardRemove(r)
+		t.dropWatcher(st.view, r.ID)
+		st.id = ident.None
+		st.grp = nil
+		st.view = nil
+		t.shardRemove(r.ID)
 		changedPartition = true
 	}
 	for _, a := range t.added {
-		if _, live := t.e.Nodes[a]; !live {
+		slot := t.e.SlotOf(a)
+		if slot < 0 {
 			continue // added and removed again within the window
 		}
-		if t.nodes[a] != nil {
+		st := &t.nodes[slot]
+		if st.id == a {
 			continue // duplicate report
 		}
 		// A fresh node starts as a good singleton (its initial view is
-		// {a}); the extraction below confirms or corrects that.
-		st := &nodeState{born: t.round, good: true}
+		// {a}); the extraction below confirms or corrects that. The slot
+		// may be recycled within the window: reset the epoch stamp so an
+		// earlier mark against the previous occupant cannot suppress this
+		// node's regroup.
+		st.id = a
+		st.viewVer = 0
+		st.view = nil
+		st.viewHash = 0
+		st.selfIn = false
+		st.nbrs = st.nbrs[:0]
+		st.nbrSlots = st.nbrSlots[:0]
+		st.good = true
+		st.born = t.round
 		grp := t.newGroup(a, []ident.NodeID{a})
 		grp.refs = 1
 		st.grp = grp
-		t.nodes[a] = st
-		t.shardInsert(a)
-		t.shards[engine.ShardOf(a)].extract = append(t.shards[engine.ShardOf(a)].extract, a)
-		t.markAffected(a)
+		t.affEpoch[slot] = 0
+		ref := memberRef{id: a, slot: slot}
+		t.shardInsert(ref)
+		t.shards[engine.ShardOf(a)].extract = append(t.shards[engine.ShardOf(a)].extract, slot)
+		t.markAffected(ref)
 		changedPartition = true
 	}
 
 	// Phase 2 (parallel): neighborhood sweep, only when the restricted
 	// graph identity moved — detects exactly the nodes whose adjacency
-	// changed and re-counts the edges.
+	// changed, re-counts the edges and refreshes the cached neighbor
+	// slots the boundary scan indexes by.
 	if topoChanged {
 		t.runShards(func(s, w int) {
 			sh := &t.shards[s]
 			sh.topoDirty = sh.topoDirty[:0]
 			sh.degSum = 0
-			for _, v := range t.byShard[s] {
-				st := t.nodes[v]
+			for _, m := range t.byShard[s] {
+				st := &t.nodes[m.slot]
 				// The CSR graph serves the neighborhood as a sorted flat
 				// view of its internal storage, so the change filter is a
 				// plain slice compare against the (equally sorted) cache —
 				// no hash, no per-node re-extraction.
-				nb := g.NeighborsView(v)
+				nb := g.NeighborsView(m.id)
 				sh.degSum += len(nb)
 				if !idsEqual(st.nbrs, nb) {
 					st.nbrs = append(st.nbrs[:0], nb...)
-					sh.topoDirty = append(sh.topoDirty, v)
+					st.nbrSlots = st.nbrSlots[:0]
+					for _, u := range nb {
+						st.nbrSlots = append(st.nbrSlots, t.e.SlotOf(u))
+					}
+					sh.topoDirty = append(sh.topoDirty, m.slot)
+				} else if memberChurn {
+					// Identical ID-neighborhood, but an in-window
+					// remove/re-add can have moved a neighbor to another
+					// slot: refresh the slots whenever membership churned.
+					st.nbrSlots = st.nbrSlots[:0]
+					for _, u := range st.nbrs {
+						st.nbrSlots = append(st.nbrSlots, t.e.SlotOf(u))
+					}
 				}
 			}
 		})
@@ -360,8 +439,8 @@ func (t *GroupTracker) Observe() RoundStats {
 	if topoChanged {
 		t.evalList = t.evalList[:0]
 		for s := range t.shards {
-			for _, v := range t.shards[s].topoDirty {
-				grp := t.nodes[v].grp
+			for _, slot := range t.shards[s].topoDirty {
+				grp := t.nodes[slot].grp
 				grp.topoGen++
 				if grp.evalRound != t.round && len(grp.members) > 1 {
 					grp.evalRound = t.round
@@ -373,19 +452,22 @@ func (t *GroupTracker) Observe() RoundStats {
 	}
 	piT := !piTBroken && t.stretchedCnt == 0
 
-	// Phase 4 (parallel): view extraction for the computed/added nodes.
+	// Phase 4 (parallel): view extraction for the computed/added slots.
 	// At steady state a node whose view did not change costs one counter
 	// comparison (core.Node.ViewVersion); content is re-extracted and
-	// diffed only on an actual change.
+	// diffed only on an actual change. A slot freed (or recycled across
+	// shards) after its node computed is skipped: the shard guard keeps
+	// a recycled slot's extraction inside the new occupant's own shard,
+	// so no slot is ever touched by two workers.
 	t.runShards(func(s, w int) {
 		sh := &t.shards[s]
 		sh.changed = sh.changed[:0]
-		for _, v := range sh.extract {
-			st := t.nodes[v]
-			if st == nil {
-				continue // removed after computing
+		for _, slot := range sh.extract {
+			st := &t.nodes[slot]
+			if st.id == ident.None || engine.ShardOf(st.id) != s {
+				continue // removed after computing, or recycled cross-shard
 			}
-			n := t.e.Nodes[v]
+			n := t.e.NodeAtSlot(slot)
 			if n == nil {
 				continue
 			}
@@ -400,10 +482,10 @@ func (t *GroupTracker) Observe() RoundStats {
 			}
 			nv := make([]ident.NodeID, len(sh.vbuf))
 			copy(nv, sh.vbuf)
-			sh.changed = append(sh.changed, changeRec{v: v, oldView: st.view})
+			sh.changed = append(sh.changed, changeRec{slot: slot, v: st.id, oldView: st.view})
 			st.view = nv
 			st.viewHash = hashIDs(nv)
-			st.selfIn = containsID(nv, v)
+			st.selfIn = containsID(nv, st.id)
 		}
 	})
 
@@ -412,34 +494,37 @@ func (t *GroupTracker) Observe() RoundStats {
 	// view contains it.
 	for s := range t.shards {
 		for _, ch := range t.shards[s].changed {
-			st := t.nodes[ch.v]
+			st := &t.nodes[ch.slot]
+			me := memberRef{id: ch.v, slot: ch.slot}
 			diffSorted(ch.oldView, st.view,
 				func(gone ident.NodeID) { t.dropWatcherOne(gone, ch.v) },
-				func(fresh ident.NodeID) {
-					ws := t.watchers[fresh]
-					if ws == nil {
-						ws = make(map[ident.NodeID]struct{})
-						t.watchers[fresh] = ws
-					}
-					ws[ch.v] = struct{}{}
-				})
-			t.markAffected(ch.v)
-			for _, w := range t.watcherList(ch.v) {
+				func(fresh ident.NodeID) { t.addWatcher(fresh, me) })
+			t.markAffected(me)
+			for _, w := range t.watchers[ch.v] {
 				t.markAffected(w)
 			}
 		}
 	}
-	// The affected set was accumulated from map-ordered watcher
-	// iterations: drop nodes that are gone and sort to restore a
-	// canonical processing order.
+	// Finalize the affected set: drop refs whose node is gone (or whose
+	// slot was recycled — the new occupant marked itself on arrival) and
+	// sort by ID to restore the canonical processing order; a reborn node
+	// can be marked under both its old and its new slot, so equal IDs are
+	// deduplicated too.
 	aff := t.affected[:0]
-	for _, v := range t.affected {
-		if t.nodes[v] != nil {
-			aff = append(aff, v)
+	for _, ref := range t.affected {
+		if t.nodes[ref.slot].id == ref.id {
+			aff = append(aff, ref)
 		}
 	}
 	t.affected = aff
-	sort.Slice(t.affected, func(i, j int) bool { return t.affected[i] < t.affected[j] })
+	sort.Slice(t.affected, func(i, j int) bool { return t.affected[i].id < t.affected[j].id })
+	aff = t.affected[:0]
+	for i, ref := range t.affected {
+		if i == 0 || ref.id != t.affected[i-1].id {
+			aff = append(aff, ref)
+		}
+	}
+	t.affected = aff
 
 	// Phase 6 (parallel): regroup — the local agreement check for every
 	// affected node, a pure read of the freshly extracted views. Hashes
@@ -451,19 +536,19 @@ func (t *GroupTracker) Observe() RoundStats {
 	}
 	t.regroup = t.regroup[:len(t.affected)]
 	t.runSlots(len(t.affected), func(i, w int) {
-		v := t.affected[i]
-		st := t.nodes[v]
+		ref := t.affected[i]
+		st := &t.nodes[ref.slot]
 		good := st.selfIn
 		if good {
 			for _, u := range st.view {
-				su := t.nodes[u]
+				su := t.state(u)
 				if su == nil || su.viewHash != st.viewHash || !idsEqual(su.view, st.view) {
 					good = false
 					break
 				}
 			}
 		}
-		rep := v
+		rep := ref.id
 		if good {
 			rep = st.view[0]
 		}
@@ -476,8 +561,9 @@ func (t *GroupTracker) Observe() RoundStats {
 	t.evalList = t.evalList[:0]
 	piCViolations := 0
 	membership := 0
-	for i, v := range t.affected {
-		st := t.nodes[v]
+	for i, ref := range t.affected {
+		v := ref.id
+		st := &t.nodes[ref.slot]
 		res := t.regroup[i]
 		old := st.grp
 		same := false
@@ -528,7 +614,7 @@ func (t *GroupTracker) Observe() RoundStats {
 	// compare their old Ω against the new one.
 	if !first {
 		for _, rb := range t.reborn {
-			st := t.nodes[rb.v]
+			st := t.state(rb.v)
 			if st == nil || idsEqual(rb.old, st.grp.members) {
 				continue
 			}
@@ -631,19 +717,23 @@ func (t *GroupTracker) evalStretched(g *graph.G, list []*group) {
 // longer adjacent are dropped from the cache (the maps are
 // double-buffered, so the working set never grows past one round's
 // boundary pairs).
+//
+// The boundary walk is map-free: each node's cached neighbor slots (kept
+// current by the phase-2 sweep, which runs whenever membership or
+// topology changed) index the slot array directly.
 func (t *GroupTracker) scanPairs(g *graph.G) {
 	t.runShards(func(s, w int) {
 		sh := &t.shards[s]
 		sh.nee = 0
 		sh.pairs = sh.pairs[:0]
-		for _, v := range t.byShard[s] {
-			st := t.nodes[v]
-			for _, u := range st.nbrs {
-				if u <= v {
+		for _, m := range t.byShard[s] {
+			st := &t.nodes[m.slot]
+			for i, u := range st.nbrs {
+				if u <= m.id {
 					continue
 				}
-				su := t.nodes[u]
-				if su == nil || su.grp == st.grp {
+				su := &t.nodes[st.nbrSlots[i]]
+				if su.grp == st.grp {
 					continue
 				}
 				sh.nee++
@@ -761,31 +851,42 @@ func (t *GroupTracker) setStretched(grp *group, v bool) {
 	}
 }
 
-func (t *GroupTracker) markAffected(v ident.NodeID) {
-	if t.affEpoch[v] == t.round {
+// markAffected stamps ref's slot for this round and queues it. Refs can
+// go stale across in-window churn; the finalization step re-validates
+// every queued ref against the slot's current occupant.
+func (t *GroupTracker) markAffected(ref memberRef) {
+	if t.affEpoch[ref.slot] == t.round {
 		return
 	}
-	t.affEpoch[v] = t.round
-	t.affected = append(t.affected, v)
+	t.affEpoch[ref.slot] = t.round
+	t.affected = append(t.affected, ref)
 }
 
-// watcherList snapshots watchers[u] into a scratch slice (the caller may
-// mutate the map while processing; order does not matter — the affected
-// set is sorted before use).
-func (t *GroupTracker) watcherList(u ident.NodeID) []ident.NodeID {
-	t.vbuf = t.vbuf[:0]
-	for w := range t.watchers[u] {
-		t.vbuf = append(t.vbuf, w)
+// addWatcher registers w as a watcher of u (w's view contains u), keeping
+// the set ascending by watcher ID.
+func (t *GroupTracker) addWatcher(u ident.NodeID, w memberRef) {
+	ws := t.watchers[u]
+	i := sort.Search(len(ws), func(i int) bool { return ws[i].id >= w.id })
+	if i < len(ws) && ws[i].id == w.id {
+		ws[i] = w
+		return
 	}
-	return t.vbuf
+	ws = append(ws, memberRef{})
+	copy(ws[i+1:], ws[i:])
+	ws[i] = w
+	t.watchers[u] = ws
 }
 
 // dropWatcherOne removes w from u's watcher set.
 func (t *GroupTracker) dropWatcherOne(u, w ident.NodeID) {
-	if ws := t.watchers[u]; ws != nil {
-		delete(ws, w)
+	ws := t.watchers[u]
+	i := sort.Search(len(ws), func(i int) bool { return ws[i].id >= w })
+	if i < len(ws) && ws[i].id == w {
+		ws = append(ws[:i], ws[i+1:]...)
 		if len(ws) == 0 {
 			delete(t.watchers, u)
+		} else {
+			t.watchers[u] = ws
 		}
 	}
 }
@@ -797,21 +898,21 @@ func (t *GroupTracker) dropWatcher(view []ident.NodeID, w ident.NodeID) {
 	}
 }
 
-func (t *GroupTracker) shardInsert(v ident.NodeID) {
-	s := engine.ShardOf(v)
+func (t *GroupTracker) shardInsert(ref memberRef) {
+	s := engine.ShardOf(ref.id)
 	ids := t.byShard[s]
-	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= v })
-	ids = append(ids, 0)
+	i := sort.Search(len(ids), func(i int) bool { return ids[i].id >= ref.id })
+	ids = append(ids, memberRef{})
 	copy(ids[i+1:], ids[i:])
-	ids[i] = v
+	ids[i] = ref
 	t.byShard[s] = ids
 }
 
 func (t *GroupTracker) shardRemove(v ident.NodeID) {
 	s := engine.ShardOf(v)
 	ids := t.byShard[s]
-	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= v })
-	if i < len(ids) && ids[i] == v {
+	i := sort.Search(len(ids), func(i int) bool { return ids[i].id >= v })
+	if i < len(ids) && ids[i].id == v {
 		t.byShard[s] = append(ids[:i], ids[i+1:]...)
 	}
 }
@@ -846,7 +947,6 @@ func containsID(sorted []ident.NodeID, v ident.NodeID) bool {
 	i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= v })
 	return i < len(sorted) && sorted[i] == v
 }
-
 
 // subsetSorted reports a ⊆ b for ascending slices.
 func subsetSorted(a, b []ident.NodeID) bool {

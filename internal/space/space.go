@@ -103,9 +103,17 @@ type World struct {
 	movedDirty  []ident.NodeID
 	movedUnique int // distinct movers at the last compaction
 	deltaFull   bool
-	shardAdjs  [numShards][]graph.NodeAdj
-	shardNbrs  [numShards][]ident.NodeID
-	updBuf     []graph.NodeAdj
+	shardAdjs   [numShards][]graph.NodeAdj
+	shardNbrs   [numShards][]ident.NodeID
+	updBuf      []graph.NodeAdj
+
+	// Row-delta record for RowsChanged: when the cached graph was produced
+	// by one delta step from rowDirtyFrom, rowDirty holds (a superset of)
+	// the nodes whose receiver row differs between the two. A full rebuild
+	// clears the record.
+	rowDirty     []ident.NodeID
+	rowDirtyFrom *graph.G
+	rowDirtyTo   *graph.G
 }
 
 // NewWorld returns an empty world with the given default range.
@@ -265,9 +273,12 @@ func (w *World) SymmetricGraph() *graph.G {
 	nodes := w.Nodes()
 	var g *graph.G
 	if w.deltaViable(len(nodes)) {
-		g = w.buildSymmetricGraphDelta(w.symGraph)
+		prev := w.symGraph
+		g = w.buildSymmetricGraphDelta(prev)
+		w.recordRowDelta(prev, g)
 	} else {
 		g = w.buildSymmetricGraph(nodes)
+		w.rowDirtyFrom, w.rowDirtyTo = nil, nil
 	}
 	w.symGraph, w.symGen = g, w.gen
 	w.movedDirty = w.movedDirty[:0]
@@ -289,6 +300,77 @@ func (w *World) Receivers(u ident.NodeID) []ident.NodeID {
 // engine's build phase recycles its receiver buffers through. Safe for
 // concurrent use once the index is built (the engine calls it from
 // several workers; each passes its own buffer).
+// ReceiverRow returns u's receiver set as a zero-copy view of its row in
+// the cached symmetric graph, plus true — or (nil, false) when rows
+// cannot be served (per-node range overrides make reachability
+// asymmetric, or the graph cache is stale). The view aliases the graph's
+// CSR storage and must be treated as read-only; because delta rebuilds
+// share every untouched row between generations, an identical view
+// (same backing, same length) across ticks means an identical receiver
+// set — rows are never mutated in place once shared (graph.ApplyDelta
+// privatizes before writing). A (nil, true) return means u is absent or
+// isolated.
+func (w *World) ReceiverRow(u ident.NodeID) ([]ident.NodeID, bool) {
+	if len(w.TxRange) != 0 {
+		return nil, false
+	}
+	w.validate()
+	if w.symGraph == nil || w.symGen != w.gen {
+		return nil, false
+	}
+	// The current graph carries every world node (isolated included), so
+	// the index probe doubles as the membership check.
+	i := w.symGraph.IndexOf(u)
+	if i < 0 {
+		return nil, true
+	}
+	return w.symGraph.NeighborsAt(i), true
+}
+
+// RowsChanged returns (a superset of) the nodes whose ReceiverRow may
+// differ between the graph since and the currently cached graph, plus
+// true — or (nil, false) when the current graph is not one delta step
+// from since (full rebuild, membership churn, stale cache, or per-node
+// range overrides). With a true return, every node absent from the
+// slice is guaranteed an identical receiver row in both graphs, so a
+// driver can invalidate its receiver caches per-node instead of
+// wholesale. The slice aliases internal storage: read-only, valid until
+// the next rebuild.
+func (w *World) RowsChanged(since *graph.G) ([]ident.NodeID, bool) {
+	if len(w.TxRange) != 0 {
+		return nil, false
+	}
+	w.validate()
+	if w.symGraph == nil || w.symGen != w.gen {
+		return nil, false
+	}
+	if w.rowDirtyFrom == nil || w.rowDirtyFrom != since || w.rowDirtyTo != w.symGraph {
+		return nil, false
+	}
+	return w.rowDirty, true
+}
+
+// recordRowDelta derives the RowsChanged set of a delta rebuild from the
+// update rows the build just scanned (still in updBuf): an edge can only
+// have appeared or disappeared between a mover and a member of its old or
+// new row, so movers plus both rows cover every changed row. The set
+// overapproximates — a neighbor that kept its edge to a mover is listed
+// though its row is unchanged — which only costs the driver a cheap
+// revalidation, never a stale cache.
+func (w *World) recordRowDelta(prev, g *graph.G) {
+	d := w.rowDirty[:0]
+	for _, upd := range w.updBuf {
+		d = append(d, upd.Node)
+		d = append(d, upd.Adj...)
+		if i := prev.IndexOf(upd.Node); i >= 0 {
+			d = append(d, prev.NeighborsAt(i)...)
+		}
+	}
+	sortIDs(d)
+	w.rowDirty = compactIDs(d)
+	w.rowDirtyFrom, w.rowDirtyTo = prev, g
+}
+
 func (w *World) AppendReceivers(u ident.NodeID, buf []ident.NodeID) []ident.NodeID {
 	w.validate()
 	// With no per-node range overrides, reachability is symmetric (same
