@@ -9,6 +9,11 @@
 // Usage:
 //
 //	go test -run XXX -bench ... -benchtime 3x . | benchtrend -history bench/history.jsonl
+//	go test -run XXX -bench ... -count 3 . | benchtrend -median -history bench/history.jsonl
+//
+// With -median, repeated result lines for the same benchmark (go test
+// -count N) are collapsed to their median ns/op before judging, so one
+// noisy run cannot trip the gate.
 //
 // Exit status: 0 when no benchmark regressed (or history is still too
 // short to judge), 1 on regression, 2 on usage/IO errors. Records are
@@ -52,6 +57,7 @@ func main() {
 	minHistory := flag.Int("min-history", 3, "minimum prior entries before a benchmark is judged")
 	commit := flag.String("commit", "", "commit hash to record (default: $GITHUB_SHA, then git rev-parse)")
 	noAppend := flag.Bool("check-only", false, "judge against history without appending")
+	useMedian := flag.Bool("median", false, "collapse repeated lines per benchmark (go test -count N) to their median ns/op before judging")
 	flag.Parse()
 
 	src := os.Stdin
@@ -69,6 +75,9 @@ func main() {
 	}
 	if len(fresh) == 0 {
 		fatal("no benchmark result lines found")
+	}
+	if *useMedian {
+		fresh = collapseMedian(fresh)
 	}
 
 	history, err := loadHistory(*historyPath)
@@ -145,6 +154,45 @@ func stripProcs(name string) string {
 		return name
 	}
 	return name[:i]
+}
+
+// collapseMedian reduces `go test -count N` repetitions to one record per
+// benchmark carrying the median ns/op (and that run's iteration count),
+// preserving first-appearance order. One noisy run out of N then cannot
+// trip the regression gate, while a real slowdown moves every run and the
+// median with it.
+func collapseMedian(recs []record) []record {
+	order := make([]string, 0, len(recs))
+	groups := make(map[string][]record, len(recs))
+	for _, r := range recs {
+		if _, ok := groups[r.Bench]; !ok {
+			order = append(order, r.Bench)
+		}
+		groups[r.Bench] = append(groups[r.Bench], r)
+	}
+	out := make([]record, 0, len(order))
+	for _, name := range order {
+		g := groups[name]
+		med := median(g)
+		// Report the run closest to the median so iters stays a real
+		// observation (the even-count midpoint is synthetic).
+		best := g[0]
+		for _, r := range g[1:] {
+			if abs(r.NsPerOp-med) < abs(best.NsPerOp-med) {
+				best = r
+			}
+		}
+		best.NsPerOp = med
+		out = append(out, best)
+	}
+	return out
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
 }
 
 func loadHistory(path string) (map[string][]record, error) {

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCollapseMedian(t *testing.T) {
+	out, err := parseBench(strings.NewReader(`
+goos: linux
+BenchmarkA-8    	     100	  1000 ns/op
+BenchmarkB-8    	      50	  7000 ns/op
+BenchmarkA-8    	     120	  5000 ns/op
+BenchmarkA-8    	     110	  1200 ns/op
+PASS
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collapseMedian(out)
+	if len(got) != 2 {
+		t.Fatalf("collapsed to %d records, want 2: %+v", len(got), got)
+	}
+	// First-appearance order preserved; A's median of {1000, 5000, 1200}
+	// is 1200, carried by the run that produced it.
+	if got[0].Bench != "BenchmarkA" || got[0].NsPerOp != 1200 || got[0].Iters != 110 {
+		t.Errorf("A = %+v, want median 1200 ns/op from the 110-iter run", got[0])
+	}
+	if got[1].Bench != "BenchmarkB" || got[1].NsPerOp != 7000 {
+		t.Errorf("B = %+v, want the single run unchanged", got[1])
+	}
+}
+
+func TestCollapseMedianEvenCount(t *testing.T) {
+	got := collapseMedian([]record{
+		{Bench: "BenchmarkA", NsPerOp: 1000, Iters: 9},
+		{Bench: "BenchmarkA", NsPerOp: 2000, Iters: 7},
+	})
+	if len(got) != 1 || got[0].NsPerOp != 1500 {
+		t.Fatalf("even-count median = %+v, want one record at 1500 ns/op", got)
+	}
+}

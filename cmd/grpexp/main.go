@@ -51,6 +51,7 @@ func main() {
 		{"E13b", func() []*trace.Table { return []*trace.Table{experiments.E13bDense(*seeds)} }},
 		{"E14", func() []*trace.Table { return []*trace.Table{experiments.E14Stabilizers(*seeds)} }},
 		{"E15", func() []*trace.Table { return []*trace.Table{experiments.E15Collision(*seeds)} }},
+		{"E16", func() []*trace.Table { return []*trace.Table{experiments.E16Chaos(*seeds)} }},
 	}
 
 	ran := 0

@@ -9,12 +9,23 @@
 //
 //	grpsoak -n 500 -rounds 100000 -workers 4 -join 0.1 -leave 0.1 -stats soak.jsonl
 //	grpsoak -n 2000 -duration 2h -urban -stats soak.csv -every 10
+//	grpsoak -n 500 -rounds 20000 -static -chaos mixed -episodes episodes.jsonl
 //
 // The run is deterministic for a fixed -seed at any -workers width;
 // -duration caps wall-clock time (use -rounds alone for bit-reproducible
 // runs). The exit status is non-zero if the tracker's cumulative
 // violation counters drift from the streamed records — the self-check
 // behind the soak acceptance criterion.
+//
+// -chaos arms the deterministic fault injector (internal/fault) with a
+// named profile (crash, byzantine, flap, burst, mixed); the convergence
+// monitor then measures a stabilization episode per fault burst and
+// -episodes streams the per-episode JSONL records. A chaos run exits
+// non-zero when an episode is still open at the end — the world never
+// re-stabilized from a fault, or from an aftershock (an unexcused ΠC
+// break with no fault in flight, which opens an episode of its own).
+// Use -chaos-until to stop injecting before the run ends, leaving the
+// tail room to close the last episode.
 package main
 
 import (
@@ -23,6 +34,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
@@ -38,28 +50,50 @@ func main() {
 	join := flag.Float64("join", 0.1, "per-round probability of one node joining")
 	leave := flag.Float64("leave", 0.1, "per-round probability of one node leaving")
 	active := flag.Float64("active", 1, "fraction of nodes that move (in (0,1): commuter regime, exercises the delta-incremental graph; 1: classic all-moving waypoint)")
+	static := flag.Bool("static", false, "freeze mobility (chaos runs: isolate fault-driven disturbances)")
 	rounds := flag.Int("rounds", 100000, "rounds to simulate")
 	duration := flag.Duration("duration", 0, "wall-clock cap (0: none)")
 	stats := flag.String("stats", "", "stream per-round records to this file (.csv: CSV, else JSONL)")
 	every := flag.Int("every", 1, "record every k-th round only")
 	flush := flag.Int("flush", 0, "sink flush period in records (0: default)")
 	progress := flag.Int("progress", 2000, "print a progress line every k rounds (0: quiet)")
+	chaos := flag.String("chaos", "", "arm the fault injector with this profile (crash, byzantine, flap, burst, mixed)")
+	chaosIntensity := flag.Float64("chaos-intensity", 1, "scale the chaos profile's fault rates")
+	chaosUntil := flag.Int("chaos-until", 0, "stand the fault schedule down after this round — no new faults, channel adversities off (0: whole run)")
+	chaosSeed := flag.Int64("chaos-seed", 0, "fault-injector seed (0: derive from -seed)")
+	episodes := flag.String("episodes", "", "stream stabilization-episode JSONL records to this file")
+	window := flag.Int("window", 0, "monitor confirmation window in rounds (0: default)")
 	flag.Parse()
 
 	cfg := obs.SoakConfig{
-		N:         *n,
-		Dmax:      *dmax,
-		Range:     *radius,
-		Side:      *side,
-		Urban:     *urban,
-		DT:        *dt,
-		Seed:      *seed,
-		Workers:   *workers,
+		N:              *n,
+		Dmax:           *dmax,
+		Range:          *radius,
+		Side:           *side,
+		Urban:          *urban,
+		DT:             *dt,
+		Seed:           *seed,
+		Workers:        *workers,
 		JoinRate:       *join,
 		LeaveRate:      *leave,
 		ActiveFraction: *active,
+		Static:         *static,
 		MaxRounds:      *rounds,
 		Duration:       *duration,
+		ConfirmWindow:  *window,
+	}
+	if *chaos != "" {
+		prof, err := fault.Preset(*chaos, *chaosIntensity)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "grpsoak:", err)
+			os.Exit(2)
+		}
+		prof.Seed = *chaosSeed
+		if prof.Seed == 0 {
+			prof.Seed = *seed ^ 0x6368616f73 // "chaos"
+		}
+		prof.Until = *chaosUntil
+		cfg.Fault = prof
 	}
 	if *stats != "" {
 		s, err := obs.OpenSink(*stats, *flush)
@@ -68,6 +102,20 @@ func main() {
 			os.Exit(2)
 		}
 		cfg.Sink = obs.Every(*every, s)
+	}
+	var epSink *obs.JSONLSink
+	if *episodes != "" {
+		if cfg.Fault == nil {
+			fmt.Fprintln(os.Stderr, "grpsoak: -episodes requires -chaos")
+			os.Exit(2)
+		}
+		s, err := obs.CreateJSONLSink(*episodes, *flush)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "grpsoak:", err)
+			os.Exit(2)
+		}
+		epSink = s
+		cfg.Episodes = s.WriteEpisode
 	}
 	if *progress > 0 {
 		start := time.Now()
@@ -80,11 +128,19 @@ func main() {
 	}
 
 	res, err := obs.RunSoak(cfg)
-	// Close (and flush) the sink before any exit: on a failed run the
+	// Close (and flush) the sinks before any exit: on a failed run the
 	// streamed tail is exactly what the operator needs.
 	if cfg.Sink != nil {
 		if cerr := cfg.Sink.Close(); cerr != nil {
 			fmt.Fprintln(os.Stderr, "grpsoak: closing sink:", cerr)
+			if err == nil {
+				err = cerr
+			}
+		}
+	}
+	if epSink != nil {
+		if cerr := epSink.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "grpsoak: closing episode sink:", cerr)
 			if err == nil {
 				err = cerr
 			}
@@ -95,4 +151,13 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Print(res.Report())
+
+	// Chaos acceptance: every episode — directly injected or aftershock
+	// (an unexcused break with no fault in flight opens one too) — must
+	// have re-stabilized within the run. Leave a fault-free tail with
+	// -chaos-until so the last episode has room to close.
+	if cfg.Fault != nil && res.EpisodesOpen > 0 {
+		fmt.Fprintf(os.Stderr, "grpsoak: %d stabilization episode(s) still open at run end\n", res.EpisodesOpen)
+		os.Exit(1)
+	}
 }

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/ident"
 	"repro/internal/mobility"
@@ -282,6 +283,83 @@ func TestDeltaGraphMatchesBruteForceReference(t *testing.T) {
 					t.Fatalf("round %d: neighbors of %v diverged: %v vs %v", r+1, v, got, want)
 				}
 			}
+		}
+	}
+}
+
+// chaosRun drives the walled churning scenario with the deterministic
+// fault injector armed on top — crash-recovery with corrupted reloads,
+// Byzantine liars, a burst-lossy channel, flapping neighborhoods — and
+// every node's SelfCheck oracle on. It pins the acceptance criterion
+// that phase-aligned injection preserves the seq-vs-parallel equality.
+func chaosRun(t *testing.T, workers, rounds int) []roundRec {
+	t.Helper()
+	w := space.NewWorld(2.5)
+	ids := make([]ident.NodeID, 60)
+	for i := range ids {
+		ids[i] = ident.NodeID(i + 1)
+	}
+	m := &mobility.Waypoint{Side: 20, SpeedMin: 0.5, SpeedMax: 2, Pause: 1}
+	topo := engine.NewSpatialTopology(w, m, 0.2, ids, rand.New(rand.NewSource(29)))
+	prof, err := fault.Preset("mixed", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof.Seed = 31
+	prof.Flap = fault.FlapConfig{Rate: 0.04, DownRounds: 5, MaxStorm: 3}
+	e := engine.New(engine.Params{
+		Cfg:     core.Config{Dmax: 3},
+		Channel: prof.NewChannel(nil),
+		Seed:    29,
+		Workers: workers,
+	}, topo)
+	for _, n := range e.Nodes {
+		n.SelfCheck = true
+	}
+	positions := map[ident.NodeID]space.Point{}
+	inj := fault.NewInjector(prof, e, fault.Hooks{
+		Leave: func(v ident.NodeID) {
+			if p, ok := w.Pos(v); ok {
+				positions[v] = p
+			}
+			w.Remove(v)
+		},
+		Rejoin: func(v ident.NodeID) {
+			w.Place(v, positions[v])
+		},
+	})
+	tr := obs.NewGroupTracker(e)
+	recs := make([]roundRec, 0, rounds)
+	for r := 1; r <= rounds; r++ {
+		inj.Apply(r)
+		for _, n := range e.Nodes {
+			n.SelfCheck = true // rejoined nodes come back with fresh cores
+		}
+		e.StepRound()
+		st := tr.Observe()
+		sh, mh := hashRound(e)
+		recs = append(recs, roundRec{
+			StateHash: sh, MsgHash: mh, Stats: st,
+			Msgs: e.MessagesSent, Bytes: e.BytesSent, Delivs: e.Deliveries,
+		})
+	}
+	if inj.FaultsInjected == 0 {
+		t.Fatal("chaos conformance run injected no faults — the comparison is vacuous")
+	}
+	return recs
+}
+
+// TestChaosSeqAndParallelBitIdentical asserts the full record stream is
+// bit-identical between the sequential and the 4-worker execution with
+// the fault injector armed and the reference oracles on — fault
+// injection is phase-aligned and coordinator-side, so it must not
+// perturb the determinism contract.
+func TestChaosSeqAndParallelBitIdentical(t *testing.T) {
+	seq := chaosRun(t, 1, 80)
+	par := chaosRun(t, 4, 80)
+	for r := range seq {
+		if !reflect.DeepEqual(seq[r], par[r]) {
+			t.Fatalf("round %d diverged:\nseq: %+v\npar: %+v", r+1, seq[r], par[r])
 		}
 	}
 }

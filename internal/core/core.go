@@ -533,6 +533,39 @@ func (n *Node) LoadState(list antlist.List, view map[ident.NodeID]bool, quar map
 	n.rejectedMoved = false
 }
 
+// PoisonBoundary force-installs a boundary-memory entry against u, as if
+// the node had double-marked u, holding for the next holdComputes compute
+// rounds. Like LoadState it exists only for the self-stabilization fault
+// experiments (the "arbitrary initial state" premise extends to the
+// boundary memory, which LoadState clears): a poisoned entry makes the
+// node auto-reject a genuine neighbor until the hold expires, the exact
+// corruption the expiry filter must recover from. The state version moves
+// and any quiet-skip license is revoked, so drivers re-run the node in
+// full.
+func (n *Node) PoisonBoundary(u ident.NodeID, holdComputes uint64) {
+	if u == n.id || holdComputes == 0 {
+		return
+	}
+	exp := n.computes + holdComputes
+	found := false
+	for i := range n.rejected {
+		if n.rejected[i].id == u {
+			n.rejected[i].exp = exp
+			found = true
+			break
+		}
+	}
+	if !found {
+		n.rejected = append(n.rejected, rejEntry{id: u, exp: exp})
+	}
+	n.version++
+	n.quiet = QuietNone
+}
+
+// BoundaryHolds returns the number of live boundary-memory entries —
+// observability for the fault experiments that poison them.
+func (n *Node) BoundaryHolds() int { return len(n.rejected) }
+
 // viewEqual reports whether two ascending view slices have identical
 // membership.
 func viewEqual(a, b []ident.NodeID) bool { return slices.Equal(a, b) }

@@ -223,6 +223,19 @@ type nodeRec struct {
 	quiet    core.Quietness
 	holdExp  uint64
 	fixVer   uint64
+
+	// Byzantine override (internal/fault). While lie is non-nil the node
+	// broadcasts lie instead of its genuine message: the build phase
+	// accounts lieSize bytes and the deliver phase resolves receptions to
+	// (lie, lieVer). lieVer has the top bit set and comes from a global
+	// monotone sequence, so it can never collide with a genuine state
+	// version in a receiver's inbox signature — every installed lie is
+	// treated as fresh traffic and wakes quiet receivers, exactly like a
+	// real state change at the sender would. The node's own protocol state
+	// keeps evolving honestly underneath.
+	lie     *core.Message
+	lieVer  uint64
+	lieSize int
 }
 
 // RemovedNode records one departure for the dirty report: the node's
@@ -282,6 +295,11 @@ type Engine struct {
 	dirtyComputed [NumShards][]int32
 	dirtyAdded    []ident.NodeID
 	dirtyRemoved  []RemovedNode
+
+	// lieSeq feeds the per-lie signature versions handed out by SetLie
+	// (top bit set, strictly increasing — disjoint from genuine state
+	// versions by construction).
+	lieSeq uint64
 
 	// MessagesSent counts broadcasts; BytesSent their encoded sizes;
 	// Deliveries successful receptions. ComputesRun counts protocol
@@ -354,6 +372,7 @@ func (e *Engine) addNode(v ident.NodeID) {
 	rec.consumed = rec.consumed[:0]
 	rec.armed, rec.quiet, rec.holdExp = false, core.QuietNone, 0
 	rec.fixVer = 0
+	rec.lie, rec.lieVer, rec.lieSize = nil, 0, 0
 	e.Nodes[v] = rec.n
 	if e.P.Jitter {
 		rec.phase = e.rng.Intn(e.P.Tc)
@@ -398,9 +417,54 @@ func (e *Engine) RemoveNode(v ident.NodeID) {
 	e.computeWheel.remove(v, rec.phase)
 	rec.n = nil
 	rec.id = ident.None
+	rec.lie, rec.lieVer, rec.lieSize = nil, 0, 0
 	if e.dirtyOn {
 		e.dirtyRemoved = append(e.dirtyRemoved, RemovedNode{ID: v, Slot: slot})
 	}
+}
+
+// SetLie arms a Byzantine override on member v: until ClearLie (or v's
+// departure), every broadcast v's send timer emits carries m instead of
+// v's genuine message, while v's own protocol state keeps evolving
+// honestly from what it hears. m must be a well-formed Message with
+// m.From == v (internal/fault forges them through a wire codec
+// round-trip); the engine retains the pointer, so the caller must not
+// mutate m afterwards — install a fresh message to change the lie.
+//
+// Like AddNode/RemoveNode, SetLie is a coordinator-side membership-layer
+// mutation: it must be called between Steps (the fault injector applies
+// it at round boundaries), never from inside a phase — that alignment is
+// what keeps chaos traces bit-identical at any worker count. It reports
+// whether v is currently a member.
+func (e *Engine) SetLie(v ident.NodeID, m *core.Message) bool {
+	slot := e.order.SlotOf(v)
+	if slot < 0 {
+		return false
+	}
+	if m.From != v {
+		panic(fmt.Sprintf("engine: SetLie(%v) with message from %v", v, m.From))
+	}
+	e.lieSeq++
+	rec := &e.recs[slot]
+	rec.lie = m
+	rec.lieVer = 1<<63 | e.lieSeq
+	rec.lieSize = m.EncodedSize()
+	return true
+}
+
+// ClearLie disarms v's Byzantine override; genuine broadcasts resume at
+// v's next send. Like SetLie it must only be called between Steps.
+func (e *Engine) ClearLie(v ident.NodeID) {
+	if slot := e.order.SlotOf(v); slot >= 0 {
+		rec := &e.recs[slot]
+		rec.lie, rec.lieVer, rec.lieSize = nil, 0, 0
+	}
+}
+
+// Lying reports whether v currently has a Byzantine override armed.
+func (e *Engine) Lying(v ident.NodeID) bool {
+	slot := e.order.SlotOf(v)
+	return slot >= 0 && e.recs[slot].lie != nil
 }
 
 // TrackDirty enables dirty-node reporting. Observers call it once at
@@ -610,6 +674,14 @@ func (e *Engine) Step() {
 				}
 				rec.recvEpoch = e.recvEpoch
 			}
+			if rec.lie != nil {
+				// A Byzantine liar transmits its forged frame instead of
+				// assembling a genuine broadcast; the deliver phase below
+				// resolves its receptions to the lie.
+				sc.txs = append(sc.txs, radio.Tx{Sender: ent.id, Receivers: rec.recv})
+				sc.bytes += rec.lieSize
+				continue
+			}
 			if rec.cm.ver != rec.n.Version() {
 				m := rec.n.BuildMessage()
 				rec.cm = cachedMsg{m: m, size: m.EncodedSize(), ver: rec.n.Version()}
@@ -670,11 +742,15 @@ func (e *Engine) Step() {
 				continue
 			}
 			from := &e.recs[fromSlot]
+			msg, ver := &from.cm.m, from.cm.ver
+			if from.lie != nil {
+				msg, ver = from.lie, from.lieVer
+			}
 			sc := &e.scratch[shardOf(d.To)]
 			sc.deliv = append(sc.deliv, resolvedDelivery{
 				to:   &e.recs[toSlot],
-				msg:  &from.cm.m,
-				from: senderVer{id: d.From, gen: from.gen, ver: from.cm.ver},
+				msg:  msg,
+				from: senderVer{id: d.From, gen: from.gen, ver: ver},
 			})
 		}
 		e.runShards(func(s int) {

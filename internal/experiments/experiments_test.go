@@ -263,3 +263,21 @@ func TestE7cDeltaScaleShape(t *testing.T) {
 		t.Fatalf("throughput columns missing: %v", row)
 	}
 }
+
+func TestE16EveryEpisodeStabilizes(t *testing.T) {
+	tb := E16Chaos(1)
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Every intensity must re-stabilize: the Until gate stands the
+	// channel adversity down for the tail, so an open episode there is a
+	// protocol failure, not a fair-channel violation.
+	for _, row := range tb.Rows {
+		if row[2] == "0" {
+			t.Errorf("intensity %v injected faults but closed no episodes: %v", row[0], row)
+		}
+		if row[3] != "0" {
+			t.Errorf("intensity %v left episodes open — the world never re-stabilized: %v", row[0], row)
+		}
+	}
+}

@@ -66,6 +66,20 @@ func (s *JSONLSink) Write(r RoundStats) error {
 	return nil
 }
 
+// WriteEpisode streams one convergence-monitor episode record through
+// the same encoder (JSONL is schemaless; episode records carry their own
+// field names — see Episode). It shares the flush period with Write.
+func (s *JSONLSink) WriteEpisode(ep Episode) error {
+	if err := s.enc.Encode(ep); err != nil {
+		return err
+	}
+	s.n++
+	if s.n%s.every == 0 {
+		return s.w.Flush()
+	}
+	return nil
+}
+
 // Close implements Sink.
 func (s *JSONLSink) Close() error {
 	err := s.w.Flush()
@@ -91,7 +105,7 @@ var csvHeader = []string{
 	"round", "tick", "nodes", "edges", "groups", "singletons", "mean_size",
 	"pi_a", "pi_s", "pi_m", "converged", "safe_groups", "safety_rate",
 	"pi_t", "pi_c", "pi_c_violations", "membership_changes", "nee",
-	"msgs", "delivs",
+	"msgs", "delivs", "radio_drops",
 }
 
 // NewCSVSink wraps w; flushEvery ≤ 0 selects DefaultFlushEvery. If w is
@@ -160,7 +174,7 @@ func (s *CSVSink) Write(r RoundStats) error {
 		row = append(row, ',')
 		row = append(row, b2s(v)...)
 	}
-	for _, v := range []int{r.ContinuityViolations, r.MembershipChanges, r.ExternalEdges, r.MessagesSent, r.Deliveries} {
+	for _, v := range []int{r.ContinuityViolations, r.MembershipChanges, r.ExternalEdges, r.MessagesSent, r.Deliveries, r.RadioDrops} {
 		row = append(row, ',')
 		row = strconv.AppendInt(row, int64(v), 10)
 	}

@@ -9,8 +9,10 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/ident"
 	"repro/internal/mobility"
+	"repro/internal/radio"
 	"repro/internal/space"
 )
 
@@ -44,6 +46,27 @@ type SoakConfig struct {
 	// graph.ApplyDelta every round instead of rebuilding, so long soaks
 	// exercise the delta path under the race detector.
 	ActiveFraction float64
+
+	// Static freezes mobility (uniform initial scatter, no movement):
+	// chaos runs use it to isolate fault-driven disturbances from
+	// mobility-driven ones.
+	Static bool
+
+	// Channel overrides the engine's radio model (default Perfect). When
+	// nil and a Fault profile schedules channel adversities, the profile's
+	// stack is built automatically.
+	Channel radio.Channel
+
+	// Fault arms the deterministic fault injector with the given profile;
+	// the convergence monitor then measures a stabilization episode per
+	// fault burst (see Monitor).
+	Fault *fault.Profile
+	// ConfirmWindow is the monitor's confirmation window (0 selects
+	// DefaultConfirmWindow).
+	ConfirmWindow int
+	// Episodes receives each closed episode record (optional — e.g.
+	// JSONLSink.WriteEpisode). Errors abort the run like sink errors.
+	Episodes func(Episode) error
 
 	MaxRounds int           // stop after this many rounds (default 1000)
 	Duration  time.Duration // optional wall-clock cap
@@ -99,6 +122,16 @@ type SoakResult struct {
 	UnexcusedBreaks  int // ΠC false while ΠT held — contract violations
 	ViolatingNodes   int // total nodes that lost a group member
 
+	// Chaos aggregates (zero when no Fault profile was armed).
+	FaultsInjected   int     // fault events the injector emitted
+	NodesAffected    int     // nodes those events touched
+	Episodes         int     // stabilization episodes closed
+	EpisodesOpen     int     // episodes still open at run end (0 or 1)
+	MeanStabRounds   float64 // mean stabilization time over closed episodes
+	MaxStabRounds    int     // worst stabilization time
+	EpisodeUnexcused int     // unexcused breaks inside episodes
+	UnexcusedOutside int     // unexcused breaks with no episode open
+
 	Final       RoundStats
 	Elapsed     time.Duration
 	TicksPerSec float64
@@ -115,6 +148,14 @@ func (r *SoakResult) Report() string {
 		r.AgreementRounds, r.Rounds, r.ConvergedRounds, r.Rounds, 100*r.MeanSafetyRate)
 	fmt.Fprintf(&b, "  best effort: %d ΠC breaks over %d topology breaks, %d violating nodes, %d unexcused\n",
 		r.ContinuityBreaks, r.TopologyBreaks, r.ViolatingNodes, r.UnexcusedBreaks)
+	if r.FaultsInjected > 0 {
+		fmt.Fprintf(&b, "  chaos: %d faults over %d nodes, %d episodes closed (%d open), stabilization mean %.1f / max %d rounds, unexcused %d in-episode + %d outside\n",
+			r.FaultsInjected, r.NodesAffected, r.Episodes, r.EpisodesOpen,
+			r.MeanStabRounds, r.MaxStabRounds, r.EpisodeUnexcused, r.UnexcusedOutside)
+		if r.Final.RadioDrops > 0 {
+			fmt.Fprintf(&b, "  radio: %d deliveries suppressed by the channel\n", r.Final.RadioDrops)
+		}
+	}
 	return b.String()
 }
 
@@ -144,15 +185,47 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 		mob = &mobility.Commuter{Side: cfg.Side, SpeedMin: 0.5, SpeedMax: 2, Pause: 1,
 			ActiveFraction: cfg.ActiveFraction}
 	}
+	if cfg.Static {
+		mob = &mobility.Static{Side: cfg.Side}
+	}
+	ch := cfg.Channel
+	if ch == nil && cfg.Fault != nil {
+		ch = cfg.Fault.NewChannel(nil)
+	}
 	topo := engine.NewSpatialTopology(w, mob, cfg.DT, ids, rand.New(rand.NewSource(cfg.Seed)))
 	e := engine.New(engine.Params{
 		Cfg:     core.Config{Dmax: cfg.Dmax},
+		Channel: ch,
 		Seed:    cfg.Seed,
 		Workers: cfg.Workers,
 	}, topo)
 	tr := NewGroupTracker(e)
 	churn := rand.New(rand.NewSource(cfg.Seed ^ 0x50a4))
 	nextID := ident.NodeID(cfg.N + 1)
+
+	// Chaos: the injector applies the fault schedule at each round
+	// boundary (phase-aligned, coordinator-side — see internal/fault);
+	// the monitor folds the tracker's record stream into stabilization
+	// episodes. The flap hooks remember a victim's position so its
+	// correlated rejoin returns it to the same spot.
+	var inj *fault.Injector
+	var mon *Monitor
+	if cfg.Fault != nil {
+		positions := make(map[ident.NodeID]space.Point)
+		inj = fault.NewInjector(cfg.Fault, e, fault.Hooks{
+			Leave: func(v ident.NodeID) {
+				if p, ok := w.Pos(v); ok {
+					positions[v] = p
+				}
+				w.Remove(v)
+			},
+			Rejoin: func(v ident.NodeID) {
+				w.Place(v, positions[v])
+			},
+		})
+		mon = NewMonitor(cfg.ConfirmWindow)
+		mon.Aftershocks = true
+	}
 
 	res := &SoakResult{}
 	safetySum := 0.0
@@ -184,11 +257,24 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 			res.Joined++
 		}
 
+		if inj != nil {
+			for range inj.Apply(r) {
+				mon.RecordFault(r)
+			}
+		}
+
 		e.StepRound()
 		st = tr.Observe()
 		if cfg.Sink != nil {
 			if err := cfg.Sink.Write(st); err != nil {
 				return nil, fmt.Errorf("soak: sink: %w", err)
+			}
+		}
+		if mon != nil {
+			if ep, closed := mon.ObserveRound(st, inj.Active()); closed && cfg.Episodes != nil {
+				if err := cfg.Episodes(ep); err != nil {
+					return nil, fmt.Errorf("soak: episode sink: %w", err)
+				}
 			}
 		}
 
@@ -229,6 +315,18 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 	if res.Rounds > 0 {
 		res.MeanSafetyRate = safetySum / float64(res.Rounds)
 		res.MeanGroups = groupSum / float64(res.Rounds)
+	}
+	if inj != nil {
+		res.FaultsInjected = inj.FaultsInjected
+		res.NodesAffected = inj.NodesAffected
+		res.Episodes = mon.Episodes
+		if mon.Open() != nil {
+			res.EpisodesOpen = 1
+		}
+		res.MeanStabRounds = mon.MeanStabRounds()
+		res.MaxStabRounds = mon.MaxStabRounds
+		res.EpisodeUnexcused = mon.TotalUnexcused
+		res.UnexcusedOutside = mon.UnexcusedOutside
 	}
 
 	// Drift check: the tracker's cumulative counters must equal the

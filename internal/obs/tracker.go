@@ -43,6 +43,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/ident"
+	"repro/internal/radio"
 )
 
 // RoundStats is one observation: the partition statistics and predicate
@@ -79,6 +80,11 @@ type RoundStats struct {
 	// Cumulative engine traffic counters.
 	MessagesSent int `json:"msgs"`
 	Deliveries   int `json:"delivs"`
+
+	// RadioDrops is the channel's cumulative suppressed-delivery count,
+	// when the engine's channel counts (radio.DropCounter) — 0 otherwise.
+	// Surfacing it lets chaos runs correlate loss bursts with violations.
+	RadioDrops int `json:"radio_drops"`
 }
 
 // nodeState is the tracker's per-node cache, held in a slot-indexed array
@@ -683,6 +689,9 @@ func (t *GroupTracker) Observe() RoundStats {
 		ExternalEdges:        t.nee,
 		MessagesSent:         t.e.MessagesSent,
 		Deliveries:           t.e.Deliveries,
+	}
+	if dc, ok := t.e.P.Channel.(radio.DropCounter); ok {
+		stats.RadioDrops = int(dc.DroppedDeliveries())
 	}
 	if t.groupCount > 0 {
 		stats.MeanSize = float64(t.memberSum) / float64(t.groupCount)

@@ -42,6 +42,15 @@ type BufferedChannel interface {
 	AppendDeliverSlot(txs []Tx, rng *rand.Rand, buf []Delivery) []Delivery
 }
 
+// DropCounter is implemented by channels that count the deliveries they
+// suppress, so observers (internal/obs) can surface radio-layer loss
+// next to the violation predicates instead of losing it silently. The
+// count is cumulative over the channel's lifetime and includes any
+// counting inner channel's drops.
+type DropCounter interface {
+	DroppedDeliveries() uint64
+}
+
 // Perfect delivers every reachable (sender, receiver) pair: no loss, no
 // collisions. The fair-channel hypothesis holds trivially.
 type Perfect struct{}
@@ -63,9 +72,36 @@ func (Perfect) AppendDeliverSlot(txs []Tx, _ *rand.Rand, buf []Delivery) []Deliv
 
 // Lossy drops each reception independently with probability P, on top of
 // an inner channel (Perfect when Inner is nil).
+//
+// Determinism: channel arbitration is phase 3 of the engine's Step — it
+// runs sequentially on the coordinator, on the engine's single global RNG
+// stream, over the slot's transmissions in canonical shard-major order.
+// Lossy draws exactly one rng.Float64() per inner delivery, in that
+// order, so the draw sequence is a pure function of the seed and the
+// slot's traffic: it is bit-identical at any Params.Workers setting and
+// any GOMAXPROCS (TestLossyDrawsWorkerIndependent pins this — the
+// conformance goldens and every chaos episode record ride on it).
 type Lossy struct {
 	P     float64
 	Inner Channel
+
+	// Drops, when non-nil, is incremented once per suppressed delivery —
+	// the drop counter chaos observers surface through the obs sink (the
+	// channel itself stays a copyable stateless value).
+	Drops *uint64
+}
+
+// DroppedDeliveries implements DropCounter: Lossy's own suppressions
+// (when counting is armed) plus any counting inner channel's.
+func (l Lossy) DroppedDeliveries() uint64 {
+	var n uint64
+	if l.Drops != nil {
+		n = *l.Drops
+	}
+	if dc, ok := l.Inner.(DropCounter); ok {
+		n += dc.DroppedDeliveries()
+	}
+	return n
 }
 
 // DeliverSlot implements Channel.
@@ -91,6 +127,8 @@ func (l Lossy) AppendDeliverSlot(txs []Tx, rng *rand.Rand, buf []Delivery) []Del
 	for _, d := range buf[start:] {
 		if rng.Float64() >= l.P {
 			kept = append(kept, d)
+		} else if l.Drops != nil {
+			*l.Drops++
 		}
 	}
 	return kept

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -69,6 +70,11 @@ type Cluster struct {
 	broadcasts chan core.Message
 	done       chan struct{}
 	wg         sync.WaitGroup
+
+	// dropped counts messages the router discarded because the receiver's
+	// inbox was full (the "busy radio" loss path) — atomically, since the
+	// router goroutine writes while observers read live.
+	dropped atomic.Uint64
 }
 
 // proc is one node goroutine's handle.
@@ -183,7 +189,11 @@ func (c *Cluster) route() {
 				if p, ok := c.procs[u]; ok {
 					select {
 					case p.inbox <- m:
-					default: // inbox full: drop, like a busy radio
+					default:
+						// Inbox full: drop, like a busy radio — but never
+						// silently; chaos runs correlate this counter with
+						// the violation predicates.
+						c.dropped.Add(1)
 					}
 				}
 			}
@@ -324,6 +334,14 @@ func (c *Cluster) AwaitStableViews(timeout time.Duration, stable int) bool {
 	}
 	return false
 }
+
+// DroppedMessages returns the cumulative count of messages the router
+// dropped on full inboxes. It implements radio.DropCounter, so obs-side
+// consumers can treat the live cluster's loss like any counting channel.
+func (c *Cluster) DroppedMessages() uint64 { return c.dropped.Load() }
+
+// DroppedDeliveries implements radio.DropCounter.
+func (c *Cluster) DroppedDeliveries() uint64 { return c.dropped.Load() }
 
 // Close stops every goroutine and waits for them.
 func (c *Cluster) Close() {

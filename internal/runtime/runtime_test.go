@@ -114,6 +114,37 @@ func TestLiveRemoveNode(t *testing.T) {
 	t.Fatalf("departure not detected: %v", c.Views())
 }
 
+// TestDroppedMessagesCounted forces inbox overflow — a dense clique,
+// one-slot inboxes, aggressive send timers — and checks the router's
+// drop counter surfaces the loss instead of discarding it silently.
+func TestDroppedMessagesCounted(t *testing.T) {
+	g := graph.New()
+	const n = 8
+	for u := ident.NodeID(1); u <= n; u++ {
+		for v := u + 1; v <= n; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	c, err := New(Config{
+		Protocol:     core.Config{Dmax: 3},
+		SendEvery:    200 * time.Microsecond,
+		ComputeEvery: 400 * time.Microsecond,
+		Buffer:       1,
+	}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.DroppedMessages() > 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("one-slot inboxes on a clique never overflowed — drop counter dead")
+}
+
 func TestConfigValidation(t *testing.T) {
 	_, err := New(Config{Protocol: core.Config{Dmax: 2}, SendEvery: 10 * time.Millisecond, ComputeEvery: 5 * time.Millisecond}, graph.Line(2))
 	if err == nil {

@@ -32,6 +32,44 @@ func FuzzDecode(f *testing.F) {
 	})
 }
 
+// FuzzDecodeHostile models an in-band attacker: it starts from a valid
+// frame and applies the two corruptions a hostile or failing radio
+// produces — truncation at an arbitrary byte and a single bit flip — and
+// requires the decoder to either return an error or produce a message
+// whose antlist still satisfies every structural invariant (sorted,
+// deduplicated sets; re-encode/decode fixpoint). Never a panic, never a
+// malformed arena handed to the protocol core.
+func FuzzDecodeHostile(f *testing.F) {
+	f.Add(uint16(0), uint16(0))
+	f.Add(uint16(4), uint16(17))
+	f.Add(uint16(1<<15), uint16(1<<15))
+	base := Encode(sampleMessage())
+	f.Fuzz(func(t *testing.T, cut uint16, flip uint16) {
+		data := append([]byte(nil), base...)
+		data = data[:int(cut)%(len(data)+1)]
+		if len(data) > 0 {
+			bit := int(flip) % (8 * len(data))
+			data[bit/8] ^= 1 << (bit % 8)
+		}
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		for p := 0; p < m.List.Len(); p++ {
+			s := m.List.At(p)
+			for i := 1; i < len(s); i++ {
+				if s[i].ID <= s[i-1].ID {
+					t.Fatalf("corrupted frame decoded to unsorted set: %v", s)
+				}
+			}
+		}
+		re := Encode(m)
+		if _, err := Decode(re); err != nil {
+			t.Fatalf("accepted corrupted frame does not re-encode: %v", err)
+		}
+	})
+}
+
 // FuzzDecodeList drives the antlist codec with raw bytes: no panics, and
 // accepted lists must satisfy the Set ordering invariant.
 func FuzzDecodeList(f *testing.F) {
