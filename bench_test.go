@@ -21,6 +21,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/ident"
+	"repro/internal/introspect"
 	"repro/internal/metrics"
 	"repro/internal/mobility"
 	"repro/internal/obs"
@@ -709,7 +710,12 @@ func parkedEngineAt(workers int, eager bool, active float64) *engine.Engine {
 // no-op round, the pre-skip cost model on the slot-indexed engine). The
 // PR 5 baseline for the same world is this benchmark run on the PR 5
 // tree; all three are recorded in BENCH_engine.json. skipfrac reports the
-// fraction of compute boundaries the measured ticks satisfied by skips.
+// fraction of compute boundaries the measured ticks satisfied by skips;
+// the wake* metrics decompose the *executed* computes by the flight
+// recorder's attributed cause (self-activity vs inbox traffic vs
+// boundary-memory hold expiry), the profile ROADMAP item 1 optimizes
+// against. The attribution must account for every executed compute, and
+// the measured ticks must be allocation-free — both asserted here.
 func BenchmarkParkedTick(b *testing.B) {
 	for _, eager := range []bool{false, true} {
 		name := "skip-4workers"
@@ -719,12 +725,36 @@ func BenchmarkParkedTick(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			s := parkedEngine(4, eager)
 			s.ComputesRun, s.ComputesSkipped = 0, 0
+			before := s.Introspect().Snapshot().Counters
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				s.Step()
 			}
+			b.StopTimer()
 			if total := s.ComputesRun + s.ComputesSkipped; total > 0 {
 				b.ReportMetric(float64(s.ComputesSkipped)/float64(total), "skipfrac")
+			}
+			after := s.Introspect().Snapshot().Counters
+			run := after["computes_run"] - before["computes_run"]
+			if run > 0 {
+				var sum uint64
+				for c := introspect.WakeCause(0); c < introspect.NumWakeCauses; c++ {
+					sum += after[c.Counter().String()] - before[c.Counter().String()]
+				}
+				if sum != run {
+					b.Errorf("wake causes sum to %d over %d executed computes", sum, run)
+				}
+				frac := func(names ...string) float64 {
+					var n uint64
+					for _, name := range names {
+						n += after[name] - before[name]
+					}
+					return float64(n) / float64(run)
+				}
+				b.ReportMetric(frac("wakes_self_active"), "wakeself")
+				b.ReportMetric(frac("wakes_inbox_new", "wakes_inbox_lost"), "wakeinbox")
+				b.ReportMetric(frac("wakes_hold_expiry"), "wakehold")
 			}
 		})
 	}

@@ -15,6 +15,13 @@
 // -count N) are collapsed to their median ns/op before judging, so one
 // noisy run cannot trip the gate.
 //
+// Each benchmark is judged against a per-benchmark gate of
+// max(-max-regress, 2× its noise floor), where the floor is the relative
+// median absolute deviation of its recent history — a benchmark whose
+// history routinely jitters ±8% is not paged for a +11% run, while a
+// quiet benchmark keeps the tight fixed threshold. The verdict line
+// prints both the floor and the effective gate.
+//
 // Exit status: 0 when no benchmark regressed (or history is still too
 // short to judge), 1 on regression, 2 on usage/IO errors. Records are
 // appended before the verdict, so a regressed run is still visible in
@@ -101,14 +108,19 @@ func main() {
 			continue
 		}
 		med := median(prior)
+		floor := noiseFloor(prior, med)
+		gate := *maxRegress
+		if g := 2 * floor; g > gate {
+			gate = g
+		}
 		delta := r.NsPerOp/med - 1
 		verdict := "ok   "
-		if delta > *maxRegress {
+		if delta > gate {
 			verdict = "REGRESSION"
 			regressed++
 		}
-		fmt.Printf("%s %-60s %12.0f ns/op  median %12.0f  %+6.1f%%\n",
-			verdict, r.Bench, r.NsPerOp, med, 100*delta)
+		fmt.Printf("%s %-60s %12.0f ns/op  median %12.0f  %+6.1f%%  floor %4.1f%% gate %4.1f%%\n",
+			verdict, r.Bench, r.NsPerOp, med, 100*delta, 100*floor, 100*gate)
 	}
 
 	if !*noAppend {
@@ -117,7 +129,7 @@ func main() {
 		}
 	}
 	if regressed > 0 {
-		fmt.Fprintf(os.Stderr, "benchtrend: %d benchmark(s) regressed beyond %.0f%%\n",
+		fmt.Fprintf(os.Stderr, "benchtrend: %d benchmark(s) regressed beyond max(%.0f%%, 2x noise floor)\n",
 			regressed, 100**maxRegress)
 		os.Exit(1)
 	}
@@ -258,6 +270,26 @@ func tail(rs []record, k int) []record {
 		return rs[len(rs)-k:]
 	}
 	return rs
+}
+
+// noiseFloor estimates a benchmark's run-to-run noise as the relative
+// median absolute deviation of its recent history: MAD(prior) / median.
+// The MAD resists the same single-outlier runs the median does, so a
+// history with one wild entry still yields a tight floor, while a
+// benchmark that genuinely jitters ±8% per run gets a proportionally
+// wide one. The regression gate is max(-max-regress, 2×floor): on quiet
+// benchmarks the fixed threshold governs, on noisy ones the gate widens
+// so routine jitter cannot page anyone, at the cost of only catching
+// regressions that clear twice the observed noise.
+func noiseFloor(prior []record, med float64) float64 {
+	if med <= 0 {
+		return 0
+	}
+	devs := make([]record, len(prior))
+	for i, r := range prior {
+		devs[i] = record{NsPerOp: abs(r.NsPerOp - med)}
+	}
+	return median(devs) / med
 }
 
 func median(rs []record) float64 {

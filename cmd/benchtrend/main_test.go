@@ -40,3 +40,30 @@ func TestCollapseMedianEvenCount(t *testing.T) {
 		t.Fatalf("even-count median = %+v, want one record at 1500 ns/op", got)
 	}
 }
+
+func recs(ns ...float64) []record {
+	out := make([]record, len(ns))
+	for i, v := range ns {
+		out[i] = record{NsPerOp: v}
+	}
+	return out
+}
+
+func TestNoiseFloor(t *testing.T) {
+	// Dead-steady history: zero floor, the fixed threshold governs.
+	if f := noiseFloor(recs(1000, 1000, 1000, 1000), 1000); f != 0 {
+		t.Errorf("steady history floor = %v, want 0", f)
+	}
+	// Symmetric ±10% jitter around 1000: MAD = 100, floor = 10%.
+	if f := noiseFloor(recs(900, 1100, 900, 1100, 1000), 1000); f != 0.1 {
+		t.Errorf("jittery history floor = %v, want 0.1", f)
+	}
+	// One wild outlier in an otherwise steady history must not inflate
+	// the floor — the MAD discards it like the median does.
+	if f := noiseFloor(recs(1000, 1000, 1000, 1000, 5000), 1000); f != 0 {
+		t.Errorf("outlier history floor = %v, want 0", f)
+	}
+	if f := noiseFloor(recs(1000), 0); f != 0 {
+		t.Errorf("degenerate median floor = %v, want 0", f)
+	}
+}

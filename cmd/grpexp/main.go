@@ -5,6 +5,7 @@
 // Usage:
 //
 //	grpexp [-format text|markdown|tsv] [-seeds N] [-only E6]
+//	grpexp -only E7c -introspect localhost:6060   # live pprof while it runs
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/introspect"
 	"repro/internal/trace"
 )
 
@@ -21,7 +23,17 @@ func main() {
 	format := flag.String("format", "text", "output format: text, markdown or tsv")
 	seeds := flag.Int("seeds", experiments.Seeds, "seeds per configuration")
 	only := flag.String("only", "", "run only the experiment whose id matches (e.g. E6)")
+	introspectAddr := flag.String("introspect", "", "serve net/http/pprof on this address while the suite runs (experiments own their engines, so no registry is exposed)")
 	flag.Parse()
+
+	if *introspectAddr != "" {
+		srv, err := introspect.Serve(*introspectAddr, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "grpexp:", err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+	}
 
 	type exp struct {
 		id  string

@@ -25,6 +25,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/ident"
+	"repro/internal/introspect"
 	"repro/internal/mobility"
 	"repro/internal/obs"
 	"repro/internal/radio"
@@ -41,6 +42,7 @@ func main() {
 	watch := flag.Bool("watch", false, "print groups every round (default: only on change)")
 	workers := flag.Int("workers", 1, "engine worker fan-out (same trace at any width)")
 	stats := flag.String("stats", "", "stream per-round stat records to this file (.csv: CSV, else JSONL)")
+	introspectAddr := flag.String("introspect", "", "serve net/http/pprof and the flight-recorder registry JSON on this address while the run lasts")
 	flag.Parse()
 
 	p := engine.Params{Cfg: core.Config{Dmax: *dmax}, Seed: *seed, Workers: *workers}
@@ -52,6 +54,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "grpsim:", err)
 		os.Exit(2)
+	}
+	if *introspectAddr != "" {
+		srv, err := introspect.Serve(*introspectAddr, s.Introspect())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "grpsim:", err)
+			os.Exit(2)
+		}
+		defer srv.Close()
 	}
 
 	// The round loop reads everything — the partition, the predicates and

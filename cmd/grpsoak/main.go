@@ -26,6 +26,14 @@
 // break with no fault in flight, which opens an episode of its own).
 // Use -chaos-until to stop injecting before the run ends, leaving the
 // tail room to close the last episode.
+//
+// -introspect serves net/http/pprof and the engine's flight-recorder
+// registry as JSON for the run's lifetime; -flight-every interleaves
+// periodic flight-recorder snapshot records ("type":"flight") into the
+// -stats JSONL stream; -trace-wakes streams one record per executed
+// compute attributing the skip-check gate that woke the node. On a
+// chaos run the registry's injection counters are cross-checked against
+// the injector's own totals, and any drift exits non-zero.
 package main
 
 import (
@@ -35,6 +43,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/introspect"
 	"repro/internal/obs"
 )
 
@@ -63,6 +72,9 @@ func main() {
 	chaosSeed := flag.Int64("chaos-seed", 0, "fault-injector seed (0: derive from -seed)")
 	episodes := flag.String("episodes", "", "stream stabilization-episode JSONL records to this file")
 	window := flag.Int("window", 0, "monitor confirmation window in rounds (0: default)")
+	introspectAddr := flag.String("introspect", "", "serve net/http/pprof and the flight-recorder registry JSON on this address for the run's lifetime (e.g. localhost:6060)")
+	flightEvery := flag.Int("flight-every", 0, "stream a flight-recorder snapshot record into -stats every k rounds, plus one at run end (0: off; JSONL sinks only)")
+	traceWakes := flag.String("trace-wakes", "", "stream per-node wake-attribution JSONL records to this file (which skip-check gate woke each computed node, and whose traffic)")
 	flag.Parse()
 
 	cfg := obs.SoakConfig{
@@ -81,6 +93,8 @@ func main() {
 		MaxRounds:      *rounds,
 		Duration:       *duration,
 		ConfirmWindow:  *window,
+		IntrospectAddr: *introspectAddr,
+		FlightEvery:    *flightEvery,
 	}
 	if *chaos != "" {
 		prof, err := fault.Preset(*chaos, *chaosIntensity)
@@ -117,6 +131,18 @@ func main() {
 		epSink = s
 		cfg.Episodes = s.WriteEpisode
 	}
+	var wakeSink *obs.JSONLSink
+	if *traceWakes != "" {
+		s, err := obs.CreateJSONLSink(*traceWakes, *flush)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "grpsoak:", err)
+			os.Exit(2)
+		}
+		wakeSink = s
+		cfg.WakeTrace = func(round int, w introspect.WakeRec) error {
+			return s.WriteWake(obs.NewWakeRecord(round, w))
+		}
+	}
 	if *progress > 0 {
 		start := time.Now()
 		cfg.ProgressEvery = *progress
@@ -141,6 +167,14 @@ func main() {
 	if epSink != nil {
 		if cerr := epSink.Close(); cerr != nil {
 			fmt.Fprintln(os.Stderr, "grpsoak: closing episode sink:", cerr)
+			if err == nil {
+				err = cerr
+			}
+		}
+	}
+	if wakeSink != nil {
+		if cerr := wakeSink.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "grpsoak: closing wake sink:", cerr)
 			if err == nil {
 				err = cerr
 			}

@@ -1,0 +1,148 @@
+package conformance
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/ident"
+	"repro/internal/introspect"
+	"repro/internal/mobility"
+	"repro/internal/space"
+)
+
+// registryCounters runs the churning walled scenario and returns the
+// flight recorder's deterministic counter block.
+func registryCounters(workers, rounds int) map[string]uint64 {
+	s := newScenario(workers, false)
+	for r := 0; r < rounds; r++ {
+		s.step(r, false)
+	}
+	return s.e.Introspect().Snapshot().Counters
+}
+
+// TestRegistryBitIdenticalAcrossWorkers pins the flight recorder's
+// deterministic section to the engine's worker-count invariance
+// guarantee: every counter — computes, per-class skips, the wake-cause
+// histogram, the message/receiver cache hits, deliveries and elisions —
+// must be bit-identical between the sequential and 4-worker executions
+// of the same churning scenario. (The wall-clock phase timings live in a
+// separate registry section precisely because they cannot satisfy this.)
+func TestRegistryBitIdenticalAcrossWorkers(t *testing.T) {
+	seq := registryCounters(1, 60)
+	par := registryCounters(4, 60)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("registry diverged across workers:\nseq: %v\npar: %v", seq, par)
+	}
+}
+
+// TestRegistryBitIdenticalOnDeltaPath repeats the invariance check on the
+// mostly-parked commuter scenario — the regime where the skip predicate
+// elides most computes and the graph is patched through ApplyDelta — so
+// the skip-class and wake-cause counters are exercised, not just the
+// always-compute ones.
+func TestRegistryBitIdenticalOnDeltaPath(t *testing.T) {
+	run := func(workers int) map[string]uint64 {
+		e := commuterScenario(workers, false)
+		for r := 0; r < 50; r++ {
+			e.StepRound()
+		}
+		return e.Introspect().Snapshot().Counters
+	}
+	seq, par := run(1), run(4)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("registry diverged across workers on the delta path:\nseq: %v\npar: %v", seq, par)
+	}
+	if seq["computes_skipped"] == 0 {
+		t.Fatal("commuter scenario skipped nothing — the skip-counter check is vacuous")
+	}
+	if seq["graph_delta_rounds"] == 0 {
+		t.Fatal("commuter scenario never took the delta path — wrong regime")
+	}
+}
+
+// TestRegistryMatchesLegacyCounters asserts the registry agrees exactly
+// with the engine's original plain-field counters over a churning run —
+// the two accounting systems observe the same events at the same sites.
+func TestRegistryMatchesLegacyCounters(t *testing.T) {
+	s := newScenario(4, false)
+	for r := 0; r < 60; r++ {
+		s.step(r, false)
+	}
+	c := s.e.Introspect().Snapshot().Counters
+	for name, want := range map[string]int{
+		"messages_sent":    s.e.MessagesSent,
+		"bytes_sent":       s.e.BytesSent,
+		"deliveries":       s.e.Deliveries,
+		"computes_run":     s.e.ComputesRun,
+		"computes_skipped": s.e.ComputesSkipped,
+		"ticks":            s.e.Tick(),
+	} {
+		if c[name] != uint64(want) {
+			t.Errorf("registry %s = %d, legacy counter = %d", name, c[name], want)
+		}
+	}
+}
+
+// wakeScenario is the commuter world with EagerCompute selectable: the
+// wake-attribution accounting must close in both modes (under eager
+// compute the skip-eligible boundaries execute as quiet replays).
+func wakeScenario(eager bool) *engine.Engine {
+	w := space.NewWorld(2.5)
+	ids := make([]ident.NodeID, 150)
+	for i := range ids {
+		ids[i] = ident.NodeID(i + 1)
+	}
+	m := &mobility.Commuter{Side: 33, SpeedMin: 0.5, SpeedMax: 2, Pause: 1, ActiveFraction: 0.08}
+	topo := engine.NewSpatialTopology(w, m, 0.2, ids, rand.New(rand.NewSource(19)))
+	return engine.New(engine.Params{
+		Cfg: core.Config{Dmax: 3}, Seed: 19, Workers: 4, EagerCompute: eager,
+	}, topo)
+}
+
+// TestWakeHistogramAccountsAllComputes asserts every executed compute is
+// attributed to exactly one wake cause: the per-cause histogram sums to
+// computes_run, with and without the activity skip. It also cross-checks
+// the traced wake stream (the -trace-wakes records) against the
+// histogram counters.
+func TestWakeHistogramAccountsAllComputes(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		eager bool
+	}{{"skip", false}, {"eager", true}} {
+		t.Run(tc.name, func(t *testing.T) {
+			e := wakeScenario(tc.eager)
+			e.TraceWakes(true)
+			traced := make(map[introspect.WakeCause]uint64)
+			for r := 0; r < 50; r++ {
+				e.StepRound()
+				e.DrainWakes(func(wakes []introspect.WakeRec) {
+					for _, w := range wakes {
+						traced[w.Cause]++
+					}
+				})
+			}
+			c := e.Introspect().Snapshot().Counters
+			var sum uint64
+			for cause := introspect.WakeCause(0); cause < introspect.NumWakeCauses; cause++ {
+				n := c[cause.Counter().String()]
+				sum += n
+				if traced[cause] != n {
+					t.Errorf("wake trace %s = %d records, histogram = %d", cause, traced[cause], n)
+				}
+			}
+			if run := c["computes_run"]; sum != run {
+				t.Errorf("wake causes sum to %d, computes_run = %d — attribution leaks", sum, run)
+			}
+			if tc.eager {
+				if c["wakes_quiet_replay"] == 0 {
+					t.Error("eager mode produced no quiet replays — the mode check is vacuous")
+				}
+			} else if c["wakes_quiet_replay"] != 0 {
+				t.Errorf("skip mode attributed %d quiet replays — those boundaries should have been skipped", c["wakes_quiet_replay"])
+			}
+		})
+	}
+}

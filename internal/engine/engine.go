@@ -53,11 +53,13 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/antlist"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/ident"
+	"repro/internal/introspect"
 	"repro/internal/metrics"
 	"repro/internal/radio"
 )
@@ -159,8 +161,9 @@ type shardScratch struct {
 	txs     []radio.Tx
 	bytes   int
 	deliv   []resolvedDelivery
-	ran     int // computes executed this tick
-	skipped int // compute boundaries satisfied by the activity skip
+	ran     int                  // computes executed this tick
+	skipped int                  // compute boundaries satisfied by the activity skip
+	wakes   []introspect.WakeRec // per-shard wake ring segment (TraceWakes only)
 }
 
 // cachedMsg is one node's last built broadcast, valid while the node's
@@ -223,6 +226,12 @@ type nodeRec struct {
 	quiet    core.Quietness
 	holdExp  uint64
 	fixVer   uint64
+
+	// seeded marks that the node has computed at least once since this
+	// slot incarnation — a compute on an unseeded record is attributed to
+	// introspect.WakeFresh, every later one to the gate that broke the
+	// skip check.
+	seeded bool
 
 	// Byzantine override (internal/fault). While lie is non-nil the node
 	// broadcasts lie instead of its genuine message: the build phase
@@ -301,6 +310,25 @@ type Engine struct {
 	// versions by construction).
 	lieSeq uint64
 
+	// reg is the flight recorder: deterministic per-phase counters (the
+	// conformance suite pins them bit-identical at any worker count) plus
+	// the separately-kept wall-clock phase timings. Always armed — the
+	// steady-state cost is a handful of uncontended atomic adds per shard
+	// per phase.
+	reg *introspect.Registry
+
+	// Wake tracing (TraceWakes): while enabled, the compute phase records
+	// every attributed wake into its shard's ring segment and the
+	// coordinator merges the segments shard-major into wakeRing — the same
+	// recycled-report pattern as DrainDirty.
+	traceWakes bool
+	wakeRing   []introspect.WakeRec
+
+	// lastDrops is the channel's cumulative drop count at the previous
+	// sample, so the arbitrate phase can route per-tick deltas into the
+	// registry (radio.DropCounter channels only).
+	lastDrops uint64
+
 	// MessagesSent counts broadcasts; BytesSent their encoded sizes;
 	// Deliveries successful receptions. ComputesRun counts protocol
 	// computes executed; ComputesSkipped the compute boundaries satisfied
@@ -324,6 +352,7 @@ func New(p Params, topo Topology) *Engine {
 		order:        NewRoster(),
 		computeWheel: newPeriodicWheel(p.Tc),
 		recvEpoch:    1, // fresh records (epoch 0) start invalid
+		reg:          introspect.NewRegistry(NumShards),
 	}
 	for s := range e.shardRNGs {
 		e.shardRNGs[s] = rand.New(rand.NewSource(shardSeed(p.Seed, s)))
@@ -372,6 +401,7 @@ func (e *Engine) addNode(v ident.NodeID) {
 	rec.consumed = rec.consumed[:0]
 	rec.armed, rec.quiet, rec.holdExp = false, core.QuietNone, 0
 	rec.fixVer = 0
+	rec.seeded = false
 	rec.lie, rec.lieVer, rec.lieSize = nil, 0, 0
 	e.Nodes[v] = rec.n
 	if e.P.Jitter {
@@ -489,6 +519,28 @@ func (e *Engine) DrainDirty(fn func(computed [NumShards][]int32, added []ident.N
 	e.dirtyRemoved = e.dirtyRemoved[:0]
 }
 
+// Introspect returns the engine's flight recorder. It is always armed;
+// every counter it serves is bit-identical at any worker count (the
+// wall-clock phase timings, kept in the registry's separate section, are
+// the one machine-dependent surface).
+func (e *Engine) Introspect() *introspect.Registry { return e.reg }
+
+// TraceWakes toggles per-node wake recording: while on, every executed
+// compute appends a WakeRec (node, cause, offending sender) to a recycled
+// ring drained with DrainWakes. The per-cause histogram counters are
+// always on regardless; the ring exists for per-node traces
+// (grpsoak -trace-wakes) and costs nothing while off.
+func (e *Engine) TraceWakes(on bool) { e.traceWakes = on }
+
+// DrainWakes hands the wake ring accumulated since the previous drain to
+// fn and resets it (keeping capacity). Records are in shard-major
+// canonical order per tick, ticks in order — bit-identical at any worker
+// count. The slice is only valid during fn.
+func (e *Engine) DrainWakes(fn func(wakes []introspect.WakeRec)) {
+	fn(e.wakeRing)
+	e.wakeRing = e.wakeRing[:0]
+}
+
 // Tick returns the current tick count.
 func (e *Engine) Tick() int { return e.tick }
 
@@ -588,8 +640,12 @@ func pendingUpsert(p []senderVer, sv senderVer) ([]senderVer, bool) {
 // due broadcasts, arbitrate the channel, deliver receptions, run due
 // computes.
 func (e *Engine) Step() {
-	// Phase 1: topology (global RNG stream).
+	// Phase 1: topology (global RNG stream). now threads the wall-clock
+	// phase boundaries into the registry's non-deterministic section —
+	// the deterministic counters below never see a clock.
+	now := time.Now()
 	e.Topo.Advance(e.rng)
+	now = e.markPhase(introspect.PhaseAdvance, now)
 
 	// Phase 2: build. The wheel hands each shard exactly its due senders
 	// in canonical order; workers draw send backoffs from their shard's
@@ -612,13 +668,18 @@ func (e *Engine) Step() {
 			dirty, ok = rower.RowsChanged(e.recvG)
 		}
 		if ok {
+			demoted := uint64(0)
 			for _, v := range dirty {
 				if s := e.order.SlotOf(v); s >= 0 && e.recs[s].recvEpoch == e.recvEpoch {
 					e.recs[s].recvEpoch--
+					demoted++
 				}
 			}
+			e.reg.Inc(introspect.CtrGraphDeltaRounds)
+			e.reg.Add(introspect.CtrRecvRowDemotions, demoted)
 		} else {
 			e.recvEpoch++
+			e.reg.Inc(introspect.CtrGraphFullRounds)
 		}
 		e.recvG, e.recvGen, e.recvMem = g, g.Generation(), e.memberGen
 	}
@@ -632,6 +693,9 @@ func (e *Engine) Step() {
 		sc := &e.scratch[s]
 		sc.txs = sc.txs[:0]
 		sc.bytes = 0
+		// Shard-local accumulators, flushed to the shard's registry lane
+		// once at the end: the hot loop pays plain integer adds only.
+		var builds, cacheHits, recvHits, rowHits, rowRefills, rebuilds uint64
 		for _, ent := range due[s] {
 			rec := &e.recs[ent.slot]
 			if rec.id != ent.id {
@@ -640,14 +704,19 @@ func (e *Engine) Step() {
 			if e.P.RandomizedSends {
 				e.sendOneshot.schedule(ent, e.tick+1+e.shardRNGs[s].Intn(e.P.Ts))
 			}
-			if rec.recvEpoch != e.recvEpoch {
+			if rec.recvEpoch == e.recvEpoch {
+				recvHits++
+			} else {
 				// The receiver cache is stale on the coarse key (graph or
 				// membership changed somewhere). Before re-deriving, try the
 				// fine-grained row check: a RowTopology serving the very
 				// same row under the same membership generation proves this
 				// sender's receiver set is untouched.
 				if row, ok := rowFor(rower, ent.id); ok {
-					if !(rec.rowMem == e.memberGen && sameRow(rec.rowRef, row)) {
+					if rec.rowMem == e.memberGen && sameRow(rec.rowRef, row) {
+						rowHits++
+					} else {
+						rowRefills++
 						live := rec.recv[:0]
 						for _, u := range row {
 							if e.order.SlotOf(u) >= 0 {
@@ -662,6 +731,7 @@ func (e *Engine) Step() {
 					// Refill the record's recycled slice and drop dead nodes
 					// in place. Reuse is safe: transmissions referencing the
 					// old backing were consumed within their own tick.
+					rebuilds++
 					buf := e.Topo.AppendReceivers(ent.id, rec.recv[:0])
 					live := buf[:0]
 					for _, u := range buf {
@@ -683,12 +753,22 @@ func (e *Engine) Step() {
 				continue
 			}
 			if rec.cm.ver != rec.n.Version() {
+				builds++
 				m := rec.n.BuildMessage()
 				rec.cm = cachedMsg{m: m, size: m.EncodedSize(), ver: rec.n.Version()}
+			} else {
+				cacheHits++
 			}
 			sc.txs = append(sc.txs, radio.Tx{Sender: ent.id, Receivers: rec.recv})
 			sc.bytes += rec.cm.size
 		}
+		lane := e.reg.Shard(s)
+		lane.Add(introspect.CtrMsgBuilds, builds)
+		lane.Add(introspect.CtrMsgCacheHits, cacheHits)
+		lane.Add(introspect.CtrRecvCacheHits, recvHits)
+		lane.Add(introspect.CtrRecvRowHits, rowHits)
+		lane.Add(introspect.CtrRecvRowRefills, rowRefills)
+		lane.Add(introspect.CtrRecvRebuilds, rebuilds)
 	})
 	if e.P.RandomizedSends {
 		e.sendOneshot.reset(e.tick)
@@ -702,8 +782,11 @@ func (e *Engine) Step() {
 		txs = append(txs, sc.txs...)
 		e.MessagesSent += len(sc.txs)
 		e.BytesSent += sc.bytes
+		e.reg.Add(introspect.CtrMessagesSent, uint64(len(sc.txs)))
+		e.reg.Add(introspect.CtrBytesSent, uint64(sc.bytes))
 	}
 	e.txsBuf = txs
+	now = e.markPhase(introspect.PhaseBuild, now)
 
 	if len(txs) > 0 {
 		// Phase 3: channel arbitration (global RNG stream, sequential),
@@ -716,6 +799,16 @@ func (e *Engine) Step() {
 		} else {
 			deliveries = e.P.Channel.DeliverSlot(txs, e.rng)
 		}
+		// Route the channel's suppressed-delivery count into the registry
+		// as a per-tick delta (drops only move inside DeliverSlot, so the
+		// running total equals the channel's own cumulative counter).
+		if dc, ok := e.P.Channel.(radio.DropCounter); ok {
+			if d := dc.DroppedDeliveries(); d != e.lastDrops {
+				e.reg.Add(introspect.CtrRadioDrops, d-e.lastDrops)
+				e.lastDrops = d
+			}
+		}
+		now = e.markPhase(introspect.PhaseArbitrate, now)
 
 		// Phase 4: deliver. Receptions are partitioned by receiver shard
 		// on the coordinator — with the receiver record and sender message
@@ -726,12 +819,14 @@ func (e *Engine) Step() {
 		for s := range e.scratch {
 			e.scratch[s].deliv = e.scratch[s].deliv[:0]
 		}
+		delivs := uint64(0)
 		for _, d := range deliveries {
 			toSlot := e.order.SlotOf(d.To)
 			if toSlot < 0 {
 				continue
 			}
 			e.Deliveries++
+			delivs++
 			fromSlot := e.order.SlotOf(d.From)
 			if fromSlot < 0 {
 				// A channel implementation fabricated or replayed a
@@ -753,7 +848,9 @@ func (e *Engine) Step() {
 				from: senderVer{id: d.From, gen: from.gen, ver: ver},
 			})
 		}
+		e.reg.Add(introspect.CtrDeliveries, delivs)
 		e.runShards(func(s int) {
+			var elided uint64
 			for _, d := range e.scratch[s].deliv {
 				if d.from.ver == ^uint64(0) {
 					// An unbuilt broadcast (fabricated delivery) is a zero
@@ -766,9 +863,13 @@ func (e *Engine) Step() {
 				d.to.pending, dup = pendingUpsert(d.to.pending, d.from)
 				if !dup {
 					d.to.n.ReceiveRef(d.msg)
+				} else {
+					elided++
 				}
 			}
+			e.reg.Shard(s).Add(introspect.CtrDeliveriesElided, elided)
 		})
+		now = e.markPhase(introspect.PhaseDeliver, now)
 	}
 
 	// Phase 5: compute, activity-driven. A node runs its full Compute
@@ -781,6 +882,9 @@ func (e *Engine) Step() {
 	e.runShards(func(s int) {
 		sc := &e.scratch[s]
 		sc.ran, sc.skipped = 0, 0
+		sc.wakes = sc.wakes[:0]
+		var skipFix, skipLonely, skipHeld uint64
+		var wk [introspect.NumWakeCauses]uint64
 		for _, ent := range cdue[s] {
 			rec := &e.recs[ent.slot]
 			if rec.id != ent.id {
@@ -792,17 +896,30 @@ func (e *Engine) Step() {
 				switch rec.quiet {
 				case core.QuietLonely:
 					rec.n.SkipLonelyRound()
+					skipLonely++
 				case core.QuietHeld:
 					rec.n.SkipHeldRound()
+					skipHeld++
 				default:
 					rec.n.SkipQuietRound()
+					skipFix++
 				}
 				rec.fixVer = rec.n.Version()
 				rec.pending = rec.pending[:0]
 				sc.skipped++
 				continue
 			}
+			// Wake attribution: classify which gate of the skip check broke
+			// before the compute disturbs the evidence. Every executed
+			// compute gets exactly one cause, so the per-cause histogram
+			// accounts for 100% of the computes run.
+			cause, offender := classifyWake(rec)
+			wk[cause]++
+			if e.traceWakes {
+				sc.wakes = append(sc.wakes, introspect.WakeRec{Node: ent.id, Cause: cause, Sender: offender})
+			}
 			rec.n.ComputeIn(&rec.bld)
+			rec.seeded = true
 			if q := rec.n.RoundQuietness(); q != core.QuietNone {
 				rec.pending, rec.consumed = rec.consumed[:0], rec.pending
 				rec.armed = true
@@ -820,13 +937,82 @@ func (e *Engine) Step() {
 				e.dirtyComputed[s] = append(e.dirtyComputed[s], ent.slot)
 			}
 		}
+		lane := e.reg.Shard(s)
+		lane.Add(introspect.CtrComputesRun, uint64(sc.ran))
+		lane.Add(introspect.CtrComputesSkipped, uint64(sc.skipped))
+		lane.Add(introspect.CtrSkipFixpoint, skipFix)
+		lane.Add(introspect.CtrSkipLonely, skipLonely)
+		lane.Add(introspect.CtrSkipHeld, skipHeld)
+		for c, n := range wk {
+			lane.Add(introspect.WakeCause(c).Counter(), n)
+		}
 	})
 	for s := range e.scratch {
 		e.ComputesRun += e.scratch[s].ran
 		e.ComputesSkipped += e.scratch[s].skipped
+		if e.traceWakes {
+			e.wakeRing = append(e.wakeRing, e.scratch[s].wakes...)
+		}
 	}
+	e.markPhase(introspect.PhaseCompute, now)
+	e.reg.Inc(introspect.CtrTicks)
 
 	e.tick++
+}
+
+// markPhase closes one wall-clock phase window: it accumulates the time
+// since start into the registry's non-deterministic section and returns
+// the new boundary instant.
+func (e *Engine) markPhase(p introspect.Phase, start time.Time) time.Time {
+	now := time.Now()
+	e.reg.AddPhaseNs(p, now.Sub(start).Nanoseconds())
+	return now
+}
+
+// classifyWake attributes an executed compute to the first skip-check
+// gate that broke, in the predicate's own evaluation order. For the
+// inbox-signature causes it also reports the first offending sender in
+// signature (ascending ID) order: the node whose fresh traffic — or
+// silence — woke this one. A compute with every gate intact (possible
+// only under EagerCompute) is a quiet replay.
+func classifyWake(rec *nodeRec) (introspect.WakeCause, ident.NodeID) {
+	switch {
+	case !rec.seeded:
+		return introspect.WakeFresh, ident.None
+	case !rec.armed:
+		return introspect.WakeSelfActive, ident.None
+	case rec.n.Version() != rec.fixVer:
+		return introspect.WakeVersionBump, ident.None
+	case rec.quiet == core.QuietHeld && rec.n.Computes() >= rec.holdExp:
+		return introspect.WakeHoldExpiry, ident.None
+	}
+	// Merge-walk the two sorted signatures for the first divergence: an
+	// entry pending has that consumed lacks (or carries at a different
+	// version) is fresh traffic; an entry only consumed has is a sender
+	// gone silent (departure, movement, or a stopped broadcast).
+	p, c := rec.pending, rec.consumed
+	i, j := 0, 0
+	for i < len(p) && j < len(c) {
+		switch {
+		case p[i].id == c[j].id:
+			if p[i] != c[j] {
+				return introspect.WakeInboxNew, p[i].id
+			}
+			i++
+			j++
+		case p[i].id < c[j].id:
+			return introspect.WakeInboxNew, p[i].id
+		default:
+			return introspect.WakeInboxLost, c[j].id
+		}
+	}
+	if i < len(p) {
+		return introspect.WakeInboxNew, p[i].id
+	}
+	if j < len(c) {
+		return introspect.WakeInboxLost, c[j].id
+	}
+	return introspect.WakeQuietReplay, ident.None
 }
 
 // rowFor fetches the receiver row view from a RowTopology, tolerating a

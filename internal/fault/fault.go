@@ -28,6 +28,7 @@ import (
 	"repro/internal/antlist"
 	"repro/internal/engine"
 	"repro/internal/ident"
+	"repro/internal/introspect"
 	"repro/internal/priority"
 	"repro/internal/radio"
 )
@@ -396,6 +397,9 @@ func (in *Injector) emit(ev Event) {
 	in.events = append(in.events, ev)
 	in.FaultsInjected++
 	in.NodesAffected += ev.N
+	reg := in.e.Introspect()
+	reg.Inc(introspect.CtrFaultsInjected)
+	reg.Add(introspect.CtrFaultNodesAffected, uint64(ev.N))
 }
 
 func (in *Injector) lying(v ident.NodeID) bool {

@@ -1,0 +1,15 @@
+package introspect
+
+import "repro/internal/ident"
+
+// WakeRec is one attributed wake: a node that failed its quiet-round
+// check, the gate that broke it, and — for the inbox causes — the first
+// offending sender slot in signature order (ident.None otherwise). The
+// engine accumulates these per shard and merges them in shard-major
+// canonical order, so a wake trace is bit-identical at any worker count,
+// like every other deterministic artifact.
+type WakeRec struct {
+	Node   ident.NodeID
+	Cause  WakeCause
+	Sender ident.NodeID
+}

@@ -54,9 +54,11 @@ func CreateJSONLSink(path string, flushEvery int) (*JSONLSink, error) {
 	return NewJSONLSink(f, flushEvery), nil
 }
 
-// Write implements Sink.
-func (s *JSONLSink) Write(r RoundStats) error {
-	if err := s.enc.Encode(r); err != nil {
+// encode streams one record of any type through the shared encoder and
+// advances the shared flush counter: every record kind (stats, episodes,
+// flight snapshots, wakes) interleaves in write order in one stream.
+func (s *JSONLSink) encode(v any) error {
+	if err := s.enc.Encode(v); err != nil {
 		return err
 	}
 	s.n++
@@ -66,19 +68,20 @@ func (s *JSONLSink) Write(r RoundStats) error {
 	return nil
 }
 
+// Write implements Sink.
+func (s *JSONLSink) Write(r RoundStats) error { return s.encode(r) }
+
 // WriteEpisode streams one convergence-monitor episode record through
 // the same encoder (JSONL is schemaless; episode records carry their own
 // field names — see Episode). It shares the flush period with Write.
-func (s *JSONLSink) WriteEpisode(ep Episode) error {
-	if err := s.enc.Encode(ep); err != nil {
-		return err
-	}
-	s.n++
-	if s.n%s.every == 0 {
-		return s.w.Flush()
-	}
-	return nil
-}
+func (s *JSONLSink) WriteEpisode(ep Episode) error { return s.encode(ep) }
+
+// WriteFlight implements FlightWriter: one flight-recorder snapshot
+// record, `"type":"flight"`, in the same stream.
+func (s *JSONLSink) WriteFlight(fr FlightRecord) error { return s.encode(fr) }
+
+// WriteWake streams one wake-attribution trace record, `"type":"wake"`.
+func (s *JSONLSink) WriteWake(w WakeRecord) error { return s.encode(w) }
 
 // Close implements Sink.
 func (s *JSONLSink) Close() error {
@@ -214,6 +217,20 @@ func (m MultiSink) Write(r RoundStats) error {
 	return nil
 }
 
+// WriteFlight implements FlightWriter, forwarding to every member sink
+// that can carry flight records (CSV sinks, whose schema is fixed, are
+// silently passed over).
+func (m MultiSink) WriteFlight(fr FlightRecord) error {
+	for _, s := range m {
+		if fw, ok := s.(FlightWriter); ok {
+			if err := fw.WriteFlight(fr); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // Close implements Sink, closing every sink and returning the first
 // error.
 func (m MultiSink) Close() error {
@@ -255,6 +272,17 @@ func (d *decimate) Write(r RoundStats) error {
 		return nil
 	}
 	return d.s.Write(r)
+}
+
+// WriteFlight forwards flight snapshots undecimated: they carry their own
+// period (SoakConfig.FlightEvery), so thinning the stats stream must not
+// also thin them. A wrapped sink that cannot carry flight records drops
+// them silently.
+func (d *decimate) WriteFlight(fr FlightRecord) error {
+	if fw, ok := d.s.(FlightWriter); ok {
+		return fw.WriteFlight(fr)
+	}
+	return nil
 }
 
 func (d *decimate) Close() error { return d.s.Close() }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/ident"
+	"repro/internal/introspect"
 	"repro/internal/mobility"
 	"repro/internal/radio"
 	"repro/internal/space"
@@ -74,6 +75,22 @@ type SoakConfig struct {
 	Sink          Sink                       // optional per-round record stream
 	Progress      func(r int, st RoundStats) // optional progress callback
 	ProgressEvery int                        // rounds between callbacks (default 500)
+
+	// IntrospectAddr, when non-empty, serves the engine's flight recorder
+	// live for the duration of the run: net/http/pprof plus the registry
+	// snapshot as JSON (see introspect.Serve).
+	IntrospectAddr string
+
+	// FlightEvery streams a flight-recorder snapshot record into Sink
+	// every k rounds (plus one final snapshot at run end), when the sink
+	// can carry them (FlightWriter — JSONL, not CSV). 0 disables.
+	FlightEvery int
+
+	// WakeTrace receives every attributed wake (round, record) — e.g.
+	// wrapping JSONLSink.WriteWake. Arming it enables the engine's wake
+	// ring; errors abort the run like sink errors. The per-cause
+	// histogram counters are always on regardless.
+	WakeTrace func(round int, w introspect.WakeRec) error
 }
 
 func (c *SoakConfig) normalize() {
@@ -135,6 +152,12 @@ type SoakResult struct {
 	Final       RoundStats
 	Elapsed     time.Duration
 	TicksPerSec float64
+
+	// Flight is the final flight-recorder snapshot: the run's complete
+	// deterministic counter block (computes, skips by class, wake-cause
+	// histogram, cache hits, drops, injections) plus the wall-clock phase
+	// timings in their separate section.
+	Flight introspect.Snapshot
 }
 
 // Report renders the human-readable final report.
@@ -154,6 +177,23 @@ func (r *SoakResult) Report() string {
 			r.MeanStabRounds, r.MaxStabRounds, r.EpisodeUnexcused, r.UnexcusedOutside)
 		if r.Final.RadioDrops > 0 {
 			fmt.Fprintf(&b, "  radio: %d deliveries suppressed by the channel\n", r.Final.RadioDrops)
+		}
+	}
+	if c := r.Flight.Counters; c != nil {
+		run, skip := c["computes_run"], c["computes_skipped"]
+		if total := run + skip; total > 0 {
+			fmt.Fprintf(&b, "  compute: %d run / %d skipped (%.1f%% skip: fixpoint %d, lonely %d, held %d)\n",
+				run, skip, 100*float64(skip)/float64(total),
+				c["skips_fixpoint"], c["skips_lonely"], c["skips_held"])
+		}
+		if run > 0 {
+			fmt.Fprintf(&b, "  wakes:")
+			for cause := introspect.WakeCause(0); cause < introspect.NumWakeCauses; cause++ {
+				if n := c[cause.Counter().String()]; n > 0 {
+					fmt.Fprintf(&b, " %s %.1f%%", cause, 100*float64(n)/float64(run))
+				}
+			}
+			fmt.Fprintf(&b, " (of %d computes)\n", run)
 		}
 	}
 	return b.String()
@@ -202,6 +242,21 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 	tr := NewGroupTracker(e)
 	churn := rand.New(rand.NewSource(cfg.Seed ^ 0x50a4))
 	nextID := ident.NodeID(cfg.N + 1)
+
+	// Live introspection: pprof + the registry JSON for the run's
+	// lifetime. The server reads the registry through atomics only, so it
+	// never perturbs the deterministic trace.
+	if cfg.IntrospectAddr != "" {
+		srv, err := introspect.Serve(cfg.IntrospectAddr, e.Introspect())
+		if err != nil {
+			return nil, fmt.Errorf("soak: introspect: %w", err)
+		}
+		defer srv.Close()
+	}
+	if cfg.WakeTrace != nil {
+		e.TraceWakes(true)
+	}
+	flightSink, _ := cfg.Sink.(FlightWriter)
 
 	// Chaos: the injector applies the fault schedule at each round
 	// boundary (phase-aligned, coordinator-side — see internal/fault);
@@ -265,9 +320,27 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 
 		e.StepRound()
 		st = tr.Observe()
+		if cfg.WakeTrace != nil {
+			var werr error
+			e.DrainWakes(func(wakes []introspect.WakeRec) {
+				for _, w := range wakes {
+					if werr = cfg.WakeTrace(r, w); werr != nil {
+						return
+					}
+				}
+			})
+			if werr != nil {
+				return nil, fmt.Errorf("soak: wake trace: %w", werr)
+			}
+		}
 		if cfg.Sink != nil {
 			if err := cfg.Sink.Write(st); err != nil {
 				return nil, fmt.Errorf("soak: sink: %w", err)
+			}
+		}
+		if flightSink != nil && cfg.FlightEvery > 0 && r%cfg.FlightEvery == 0 {
+			if err := flightSink.WriteFlight(NewFlightRecord(r, e)); err != nil {
+				return nil, fmt.Errorf("soak: flight sink: %w", err)
 			}
 		}
 		if mon != nil {
@@ -327,6 +400,26 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 		res.MaxStabRounds = mon.MaxStabRounds
 		res.EpisodeUnexcused = mon.TotalUnexcused
 		res.UnexcusedOutside = mon.UnexcusedOutside
+	}
+	if flightSink != nil && cfg.FlightEvery > 0 {
+		if err := flightSink.WriteFlight(NewFlightRecord(res.Rounds, e)); err != nil {
+			return nil, fmt.Errorf("soak: flight sink: %w", err)
+		}
+	}
+	reg := e.Introspect()
+	res.Flight = reg.Snapshot()
+
+	// Chaos cross-check: the registry counts injections at the emission
+	// site inside the injector; its totals must match the injector's own
+	// plain-field accumulation exactly, or the flight recorder is lying
+	// about the fault schedule (nightly chaos gates on this error).
+	if inj != nil {
+		if got, want := reg.Get(introspect.CtrFaultsInjected), uint64(inj.FaultsInjected); got != want {
+			return res, fmt.Errorf("soak: flight-recorder drift: faults_injected %d vs injector %d", got, want)
+		}
+		if got, want := reg.Get(introspect.CtrFaultNodesAffected), uint64(inj.NodesAffected); got != want {
+			return res, fmt.Errorf("soak: flight-recorder drift: fault_nodes_affected %d vs injector %d", got, want)
+		}
 	}
 
 	// Drift check: the tracker's cumulative counters must equal the

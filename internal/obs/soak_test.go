@@ -148,6 +148,7 @@ func TestSoakDeterministicAcrossWorkers(t *testing.T) {
 		}
 		rep := *res
 		rep.Elapsed, rep.TicksPerSec = 0, 0 // wall-clock fields differ
+		rep.Flight.PhaseNs = nil            // …as does the timing section
 		b, _ := json.Marshal(rep)
 		return string(b)
 	}

@@ -43,7 +43,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/ident"
-	"repro/internal/radio"
+	"repro/internal/introspect"
 )
 
 // RoundStats is one observation: the partition statistics and predicate
@@ -670,6 +670,26 @@ func (t *GroupTracker) Observe() RoundStats {
 	}
 	t.Rounds++
 
+	// Mirror the observation counters into the engine's flight recorder,
+	// so a registry snapshot carries the full picture (traffic, computes,
+	// wakes AND observed violations) in one deterministic block. The
+	// tracker's own cumulative fields stay authoritative for the soak
+	// drift self-check; the registry copy is the unified surface.
+	reg := t.e.Introspect()
+	reg.Inc(introspect.CtrObsRounds)
+	if !first {
+		if !piT {
+			reg.Inc(introspect.CtrObsTopologyBreaks)
+		}
+		if !piC {
+			reg.Inc(introspect.CtrObsContinuityBreaks)
+			if piT {
+				reg.Inc(introspect.CtrObsUnexcusedBreaks)
+			}
+		}
+		reg.Add(introspect.CtrObsViolatingNodes, uint64(piCViolations))
+	}
+
 	stats := RoundStats{
 		Round:                t.round,
 		Tick:                 t.e.Tick(),
@@ -690,9 +710,10 @@ func (t *GroupTracker) Observe() RoundStats {
 		MessagesSent:         t.e.MessagesSent,
 		Deliveries:           t.e.Deliveries,
 	}
-	if dc, ok := t.e.P.Channel.(radio.DropCounter); ok {
-		stats.RadioDrops = int(dc.DroppedDeliveries())
-	}
+	// Served from the registry (the engine samples radio.DropCounter
+	// deltas each arbitrate phase), so the record and the flight snapshot
+	// can never disagree on the drop count.
+	stats.RadioDrops = int(reg.Get(introspect.CtrRadioDrops))
 	if t.groupCount > 0 {
 		stats.MeanSize = float64(t.memberSum) / float64(t.groupCount)
 		stats.SafetyRate = float64(stats.SafeGroups) / float64(t.groupCount)

@@ -19,13 +19,13 @@ import (
 	"errors"
 	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/ident"
+	"repro/internal/introspect"
 )
 
 // Config parameterizes a live cluster.
@@ -71,10 +71,12 @@ type Cluster struct {
 	done       chan struct{}
 	wg         sync.WaitGroup
 
-	// dropped counts messages the router discarded because the receiver's
-	// inbox was full (the "busy radio" loss path) — atomically, since the
-	// router goroutine writes while observers read live.
-	dropped atomic.Uint64
+	// reg is the cluster's flight-recorder registry (coordinator lane
+	// only — the live cluster has no shard structure and no determinism
+	// contract; the counters are exact, not reproducible). The router
+	// goroutine writes through atomic cells, so observers — including a
+	// live introspect HTTP scraper — read without synchronizing.
+	reg *introspect.Registry
 }
 
 // proc is one node goroutine's handle.
@@ -117,6 +119,7 @@ func NewWithTopology(cfg Config, topo engine.Topology) (*Cluster, error) {
 		procs:      make(map[ident.NodeID]*proc),
 		broadcasts: make(chan core.Message, 256),
 		done:       make(chan struct{}),
+		reg:        introspect.NewRegistry(0),
 	}
 	c.wg.Add(1)
 	go c.route()
@@ -185,15 +188,17 @@ func (c *Cluster) route() {
 			return
 		case m := <-c.broadcasts:
 			c.mu.RLock()
+			c.reg.Inc(introspect.CtrMessagesSent)
 			for _, u := range c.topo.Receivers(m.From) {
 				if p, ok := c.procs[u]; ok {
 					select {
 					case p.inbox <- m:
+						c.reg.Inc(introspect.CtrDeliveries)
 					default:
 						// Inbox full: drop, like a busy radio — but never
 						// silently; chaos runs correlate this counter with
 						// the violation predicates.
-						c.dropped.Add(1)
+						c.reg.Inc(introspect.CtrRadioDrops)
 					}
 				}
 			}
@@ -335,13 +340,18 @@ func (c *Cluster) AwaitStableViews(timeout time.Duration, stable int) bool {
 	return false
 }
 
+// Introspect returns the cluster's flight-recorder registry (routed
+// broadcasts, deliveries, inbox-overflow drops) — servable live via
+// introspect.Serve, like the deterministic engine's.
+func (c *Cluster) Introspect() *introspect.Registry { return c.reg }
+
 // DroppedMessages returns the cumulative count of messages the router
 // dropped on full inboxes. It implements radio.DropCounter, so obs-side
 // consumers can treat the live cluster's loss like any counting channel.
-func (c *Cluster) DroppedMessages() uint64 { return c.dropped.Load() }
+func (c *Cluster) DroppedMessages() uint64 { return c.reg.Get(introspect.CtrRadioDrops) }
 
 // DroppedDeliveries implements radio.DropCounter.
-func (c *Cluster) DroppedDeliveries() uint64 { return c.dropped.Load() }
+func (c *Cluster) DroppedDeliveries() uint64 { return c.reg.Get(introspect.CtrRadioDrops) }
 
 // Close stops every goroutine and waits for them.
 func (c *Cluster) Close() {
