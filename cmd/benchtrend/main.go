@@ -34,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"os/exec"
 	"regexp"
@@ -44,17 +45,23 @@ import (
 
 // record is one benchmark observation, one JSON object per history line.
 type record struct {
-	TS      string  `json:"ts"`     // RFC3339 UTC
-	Commit  string  `json:"commit"` // full or short hash, best effort
-	Bench   string  `json:"bench"`  // benchmark name with sub-bench path, GOMAXPROCS suffix stripped
-	NsPerOp float64 `json:"ns_per_op"`
-	Iters   int     `json:"iters"`
+	TS      string             `json:"ts"`     // RFC3339 UTC
+	Commit  string             `json:"commit"` // full or short hash, best effort
+	Bench   string             `json:"bench"`  // benchmark name with sub-bench path, GOMAXPROCS suffix stripped
+	NsPerOp float64            `json:"ns_per_op"`
+	Iters   int                `json:"iters"`
+	Metrics map[string]float64 `json:"metrics,omitempty"` // custom b.ReportMetric columns (skipfrac, memofrac, …)
 }
 
 // benchLine matches `go test -bench` result rows:
 //
 //	BenchmarkName/sub-4    	     10	  12345678 ns/op	  0.97 skipfrac
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.e+]+) ns/op`)
+
+// metricPair matches the `<value> <unit>` columns after ns/op. The
+// allocation columns go test itself appends are skipped below; what
+// remains are the benchmark's own b.ReportMetric columns.
+var metricPair = regexp.MustCompile(`([0-9.e+-]+) ([A-Za-z][A-Za-z0-9_/%-]*)`)
 
 func main() {
 	in := flag.String("in", "-", "bench output to parse ('-' = stdin)")
@@ -65,7 +72,13 @@ func main() {
 	commit := flag.String("commit", "", "commit hash to record (default: $GITHUB_SHA, then git rev-parse)")
 	noAppend := flag.Bool("check-only", false, "judge against history without appending")
 	useMedian := flag.Bool("median", false, "collapse repeated lines per benchmark (go test -count N) to their median ns/op before judging")
+	minMetric := flag.String("min-metric", "", "comma list of benchprefix:metric:floor — fail when a matching benchmark's reported metric is below floor or missing")
 	flag.Parse()
+
+	floors, err := parseMetricFloors(*minMetric)
+	if err != nil {
+		fatal("bad -min-metric: %v", err)
+	}
 
 	src := os.Stdin
 	if *in != "-" {
@@ -99,28 +112,30 @@ func main() {
 		fresh[i].Commit = hash
 	}
 
-	regressed := 0
+	regressed, degenerate := 0, 0
 	for _, r := range fresh {
 		prior := tail(history[r.Bench], *window)
-		if len(prior) < *minHistory {
+		v := judge(r, prior, *maxRegress, *minHistory)
+		switch v.kind {
+		case verdictSeed:
 			fmt.Printf("seed  %-60s %12.0f ns/op  (%d prior entries, not judged)\n",
 				r.Bench, r.NsPerOp, len(prior))
-			continue
+		case verdictDegenerate:
+			degenerate++
+			fmt.Printf("DEGEN %-60s %12.0f ns/op  median %12.0f  (non-positive sample or median, refusing to judge)\n",
+				r.Bench, r.NsPerOp, v.med)
+		default:
+			if v.kind == verdictRegression {
+				regressed++
+			}
+			fmt.Printf("%s %-60s %12.0f ns/op  median %12.0f  %+6.1f%%  floor %4.1f%% gate %4.1f%%\n",
+				v.kind, r.Bench, r.NsPerOp, v.med, 100*v.delta, 100*v.floor, 100*v.gate)
 		}
-		med := median(prior)
-		floor := noiseFloor(prior, med)
-		gate := *maxRegress
-		if g := 2 * floor; g > gate {
-			gate = g
-		}
-		delta := r.NsPerOp/med - 1
-		verdict := "ok   "
-		if delta > gate {
-			verdict = "REGRESSION"
-			regressed++
-		}
-		fmt.Printf("%s %-60s %12.0f ns/op  median %12.0f  %+6.1f%%  floor %4.1f%% gate %4.1f%%\n",
-			verdict, r.Bench, r.NsPerOp, med, 100*delta, 100*floor, 100*gate)
+	}
+
+	violations := checkMetricFloors(fresh, floors)
+	for _, v := range violations {
+		fmt.Println("FLOOR", v)
 	}
 
 	if !*noAppend {
@@ -128,11 +143,121 @@ func main() {
 			fatal("append history: %v", err)
 		}
 	}
-	if regressed > 0 {
-		fmt.Fprintf(os.Stderr, "benchtrend: %d benchmark(s) regressed beyond max(%.0f%%, 2x noise floor)\n",
-			regressed, 100**maxRegress)
+	if regressed > 0 || degenerate > 0 || len(violations) > 0 {
+		if regressed > 0 {
+			fmt.Fprintf(os.Stderr, "benchtrend: %d benchmark(s) regressed beyond max(%.0f%%, 2x noise floor)\n",
+				regressed, 100**maxRegress)
+		}
+		if degenerate > 0 {
+			fmt.Fprintf(os.Stderr, "benchtrend: %d benchmark(s) had a degenerate sample or history and could not be judged\n",
+				degenerate)
+		}
+		if len(violations) > 0 {
+			fmt.Fprintf(os.Stderr, "benchtrend: %d metric floor violation(s)\n", len(violations))
+		}
 		os.Exit(1)
 	}
+}
+
+// metricFloor is one -min-metric clause: every fresh benchmark whose name
+// starts with prefix must report metric at or above floor.
+type metricFloor struct {
+	prefix, metric string
+	floor          float64
+}
+
+func parseMetricFloors(spec string) ([]metricFloor, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []metricFloor
+	for _, clause := range strings.Split(spec, ",") {
+		parts := strings.Split(strings.TrimSpace(clause), ":")
+		if len(parts) != 3 || parts[0] == "" || parts[1] == "" {
+			return nil, fmt.Errorf("%q is not benchprefix:metric:floor", clause)
+		}
+		floor, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || math.IsNaN(floor) {
+			return nil, fmt.Errorf("%q: bad floor %q", clause, parts[2])
+		}
+		out = append(out, metricFloor{prefix: parts[0], metric: parts[1], floor: floor})
+	}
+	return out, nil
+}
+
+// checkMetricFloors enforces the -min-metric clauses against the fresh
+// records. A clause that matches no benchmark, a matching benchmark that
+// stopped reporting the metric, and a NaN value all violate: a floor
+// that silently stops measuring is indistinguishable from a pass.
+func checkMetricFloors(fresh []record, floors []metricFloor) []string {
+	var out []string
+	for _, fl := range floors {
+		matched := false
+		for _, r := range fresh {
+			if !strings.HasPrefix(r.Bench, fl.prefix) {
+				continue
+			}
+			matched = true
+			v, ok := r.Metrics[fl.metric]
+			if !ok {
+				out = append(out, fmt.Sprintf("%s: metric %q not reported (floor %g)", r.Bench, fl.metric, fl.floor))
+				continue
+			}
+			if !(v >= fl.floor) { // NaN fails too
+				out = append(out, fmt.Sprintf("%s: %s = %g below floor %g", r.Bench, fl.metric, v, fl.floor))
+			}
+		}
+		if !matched {
+			out = append(out, fmt.Sprintf("no benchmark matches prefix %q (floor %s:%g)", fl.prefix, fl.metric, fl.floor))
+		}
+	}
+	return out
+}
+
+// Verdict kinds. The degenerate kind exists so a zero or non-finite
+// median (corrupt history, a bogus 0 ns/op sample) fails the run loudly
+// instead of turning the delta into NaN — which compares false against
+// any gate and used to print as "ok".
+const (
+	verdictSeed       = "seed "
+	verdictOK         = "ok   "
+	verdictRegression = "REGRESSION"
+	verdictDegenerate = "DEGEN"
+)
+
+// verdict is one benchmark's judgement against its prior window.
+type verdict struct {
+	kind                    string
+	med, delta, floor, gate float64
+}
+
+// judge compares a fresh observation against its history window. A
+// minHistory below 1 is treated as 1: judging against an empty window
+// has no median to compare to (and used to panic inside median).
+func judge(r record, prior []record, maxRegress float64, minHistory int) verdict {
+	if minHistory < 1 {
+		minHistory = 1
+	}
+	if len(prior) < minHistory {
+		return verdict{kind: verdictSeed}
+	}
+	med := median(prior)
+	// !(x > 0) also catches NaN; Inf survives the comparison, so test it
+	// explicitly. Either way the ratio below would be meaningless.
+	if !(med > 0) || math.IsInf(med, 0) || !(r.NsPerOp > 0) || math.IsInf(r.NsPerOp, 0) {
+		return verdict{kind: verdictDegenerate, med: med}
+	}
+	floor := noiseFloor(prior, med)
+	gate := maxRegress
+	if g := 2 * floor; g > gate {
+		gate = g
+	}
+	delta := r.NsPerOp/med - 1
+	kind := verdictOK
+	if delta > gate {
+		kind = verdictRegression
+	}
+	return verdict{kind: kind, med: med, delta: delta, floor: floor, gate: gate}
 }
 
 func parseBench(r io.Reader) ([]record, error) {
@@ -140,18 +265,45 @@ func parseBench(r io.Reader) ([]record, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(sc.Text())
-		if m == nil {
+		line := sc.Text()
+		loc := benchLine.FindStringSubmatchIndex(line)
+		if loc == nil {
 			continue
 		}
+		m := benchLine.FindStringSubmatch(line)
 		iters, _ := strconv.Atoi(m[2])
 		ns, err := strconv.ParseFloat(m[3], 64)
 		if err != nil {
 			continue
 		}
-		out = append(out, record{Bench: stripProcs(m[1]), NsPerOp: ns, Iters: iters})
+		rec := record{Bench: stripProcs(m[1]), NsPerOp: ns, Iters: iters}
+		rec.Metrics = parseMetrics(line[loc[1]:])
+		out = append(out, rec)
 	}
 	return out, sc.Err()
+}
+
+// parseMetrics extracts the custom b.ReportMetric columns from the tail
+// of a result row (everything after "ns/op"), dropping the allocation
+// and throughput columns go test appends on its own.
+func parseMetrics(tail string) map[string]float64 {
+	var out map[string]float64
+	for _, p := range metricPair.FindAllStringSubmatch(tail, -1) {
+		unit := p[2]
+		switch unit {
+		case "B/op", "allocs/op", "MB/s":
+			continue
+		}
+		v, err := strconv.ParseFloat(p[1], 64)
+		if err != nil {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]float64)
+		}
+		out[unit] = v
+	}
+	return out
 }
 
 // stripProcs drops the trailing -<GOMAXPROCS> suffix go test appends, so
@@ -238,17 +390,24 @@ func appendHistory(path string, recs []record) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	w := bufio.NewWriter(f)
 	for _, r := range recs {
-		b, err := json.Marshal(r)
-		if err != nil {
-			return err
+		b, merr := json.Marshal(r)
+		if merr != nil {
+			f.Close()
+			return merr
 		}
 		w.Write(b)
 		w.WriteByte('\n')
 	}
-	return w.Flush()
+	// The close error matters as much as the flush: a full disk can eat
+	// the appended records at either step, and a silently truncated
+	// history would judge every future run against a corrupt window.
+	err = w.Flush()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func resolveCommit(flagVal string) string {
@@ -289,10 +448,19 @@ func noiseFloor(prior []record, med float64) float64 {
 	for i, r := range prior {
 		devs[i] = record{NsPerOp: abs(r.NsPerOp - med)}
 	}
-	return median(devs) / med
+	f := median(devs) / med
+	// A non-finite floor would widen the gate to infinity and wave every
+	// regression through; fall back to the fixed threshold instead.
+	if !(f >= 0) || math.IsInf(f, 0) {
+		return 0
+	}
+	return f
 }
 
 func median(rs []record) float64 {
+	if len(rs) == 0 {
+		return 0
+	}
 	vals := make([]float64, len(rs))
 	for i, r := range rs {
 		vals[i] = r.NsPerOp

@@ -1,9 +1,70 @@
 package main
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
+
+func TestParseBenchMetrics(t *testing.T) {
+	out, err := parseBench(strings.NewReader(
+		"BenchmarkParkedTick/skip-4workers-8 \t3\t144100000 ns/op\t0.0721 memofrac\t0.766 skipfrac\t0 B/op\t0 allocs/op\n" +
+			"BenchmarkPlain-8 \t100\t1000 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("parsed %d records, want 2", len(out))
+	}
+	m := out[0].Metrics
+	if m["skipfrac"] != 0.766 || m["memofrac"] != 0.0721 {
+		t.Errorf("metrics = %v, want skipfrac 0.766 and memofrac 0.0721", m)
+	}
+	if _, ok := m["B/op"]; ok {
+		t.Error("allocation columns must not be recorded as metrics")
+	}
+	if out[1].Metrics != nil {
+		t.Errorf("metric-free row carries %v", out[1].Metrics)
+	}
+}
+
+func TestMetricFloors(t *testing.T) {
+	floors, err := parseMetricFloors("BenchmarkParkedTick/skip:skipfrac:0.7,BenchmarkParkedTick/skip:memofrac:0.03")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := []record{
+		{Bench: "BenchmarkParkedTick/skip-4workers", Metrics: map[string]float64{"skipfrac": 0.766, "memofrac": 0.072}},
+		{Bench: "BenchmarkParkedTick/eager-4workers", Metrics: map[string]float64{"skipfrac": 0}},
+	}
+	if v := checkMetricFloors(fresh, floors); len(v) != 0 {
+		t.Errorf("healthy run violated floors: %v", v)
+	}
+
+	// Below the floor, metric gone missing, and no benchmark matching the
+	// prefix at all — each must violate, never silently pass.
+	low := []record{{Bench: "BenchmarkParkedTick/skip-4workers", Metrics: map[string]float64{"skipfrac": 0.5, "memofrac": 0.072}}}
+	if v := checkMetricFloors(low, floors); len(v) != 1 {
+		t.Errorf("below-floor run: %d violations, want 1: %v", len(v), v)
+	}
+	gone := []record{{Bench: "BenchmarkParkedTick/skip-4workers", Metrics: map[string]float64{"skipfrac": 0.766}}}
+	if v := checkMetricFloors(gone, floors); len(v) != 1 {
+		t.Errorf("missing-metric run: %d violations, want 1: %v", len(v), v)
+	}
+	if v := checkMetricFloors([]record{{Bench: "BenchmarkOther"}}, floors); len(v) != 2 {
+		t.Errorf("unmatched prefix: %d violations, want 2: %v", len(v), v)
+	}
+	nan := []record{{Bench: "BenchmarkParkedTick/skip-4workers", Metrics: map[string]float64{"skipfrac": math.NaN(), "memofrac": 0.072}}}
+	if v := checkMetricFloors(nan, floors); len(v) != 1 {
+		t.Errorf("NaN metric: %d violations, want 1: %v", len(v), v)
+	}
+
+	for _, bad := range []string{"nonsense", "a:b", "a:b:x", "::1", "a::1"} {
+		if _, err := parseMetricFloors(bad); err == nil {
+			t.Errorf("parseMetricFloors(%q) accepted a malformed clause", bad)
+		}
+	}
+}
 
 func TestCollapseMedian(t *testing.T) {
 	out, err := parseBench(strings.NewReader(`
@@ -65,5 +126,71 @@ func TestNoiseFloor(t *testing.T) {
 	}
 	if f := noiseFloor(recs(1000), 0); f != 0 {
 		t.Errorf("degenerate median floor = %v, want 0", f)
+	}
+	// Short histories still yield a finite, non-NaN floor: one entry has
+	// zero deviation, two entries straddle their midpoint symmetrically.
+	if f := noiseFloor(recs(1000), 1000); f != 0 {
+		t.Errorf("single-entry floor = %v, want 0", f)
+	}
+	if f := noiseFloor(recs(900, 1100), 1000); f != 0.1 {
+		t.Errorf("two-entry floor = %v, want 0.1", f)
+	}
+}
+
+func TestMedianDegenerate(t *testing.T) {
+	// An empty window must not panic (it used to index vals[-1]).
+	if m := median(nil); m != 0 {
+		t.Errorf("median(nil) = %v, want 0", m)
+	}
+	if m := median(recs(42)); m != 42 {
+		t.Errorf("single-sample median = %v, want 42", m)
+	}
+	if m := median(recs(30, 10)); m != 20 {
+		t.Errorf("even-count median = %v, want 20", m)
+	}
+}
+
+// TestJudgeDegenerateHistories pins the gate against the histories that
+// used to produce NaN deltas or panics: every row must come back with an
+// explicit verdict, never a silent "ok" born of a NaN comparison.
+func TestJudgeDegenerateHistories(t *testing.T) {
+	cases := []struct {
+		name       string
+		fresh      float64
+		prior      []record
+		minHistory int
+		want       string
+	}{
+		// -min-history 0 against an empty window used to panic in median.
+		{"empty history, min 0", 1000, nil, 0, verdictSeed},
+		{"short history", 1000, recs(1000), 3, verdictSeed},
+		// All-zero history: med == 0, delta would be +Inf (or NaN for a
+		// zero sample) — both compared false against the gate and passed.
+		{"zero history", 1000, recs(0, 0, 0), 3, verdictDegenerate},
+		{"zero sample", 0, recs(1000, 1000, 1000), 3, verdictDegenerate},
+		{"zero sample, zero history", 0, recs(0, 0, 0), 3, verdictDegenerate},
+		{"negative history", 1000, recs(-1000, -1000, -1000), 3, verdictDegenerate},
+		{"inf sample", math.Inf(1), recs(1000, 1000, 1000), 3, verdictDegenerate},
+		{"nan sample", math.NaN(), recs(1000, 1000, 1000), 3, verdictDegenerate},
+		// Healthy windows still judge, including the short ones -min-history
+		// permits: a single- or two-entry window has floor 0 resp. finite,
+		// so the fixed threshold governs and real regressions still trip.
+		{"single-entry window regression", 2000, recs(1000), 1, verdictRegression},
+		{"two-entry window ok", 1050, recs(990, 1010), 2, verdictOK},
+		{"two-entry window regression", 1300, recs(990, 1010), 2, verdictRegression},
+		{"steady history ok", 1050, recs(1000, 1000, 1000), 3, verdictOK},
+		{"steady history regression", 1200, recs(1000, 1000, 1000), 3, verdictRegression},
+	}
+	for _, c := range cases {
+		v := judge(record{NsPerOp: c.fresh}, c.prior, 0.10, c.minHistory)
+		if v.kind != c.want {
+			t.Errorf("%s: verdict %q, want %q (med %v delta %v gate %v)",
+				c.name, v.kind, c.want, v.med, v.delta, v.gate)
+		}
+		if v.kind == verdictOK || v.kind == verdictRegression {
+			if math.IsNaN(v.delta) || math.IsInf(v.delta, 0) || math.IsNaN(v.gate) || v.gate <= 0 {
+				t.Errorf("%s: judged with a degenerate delta/gate: %+v", c.name, v)
+			}
+		}
 	}
 }
