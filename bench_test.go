@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/antlist"
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/graph"
@@ -735,6 +736,7 @@ func BenchmarkParkedTick(b *testing.B) {
 			s := parkedEngine(4, mode.eager, mode.noMemo)
 			s.ComputesRun, s.ComputesSkipped = 0, 0
 			before := s.Introspect().Snapshot().Counters
+			phaseBefore := s.Introspect().Snapshot().PhaseNs
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -742,6 +744,12 @@ func BenchmarkParkedTick(b *testing.B) {
 			}
 			b.StopTimer()
 			after := s.Introspect().Snapshot().Counters
+			// Flight-recorder per-phase wall clock, per tick: benchtrend
+			// promotes each ph_<name>_ns column to its own trend line, so a
+			// phase regressing inside a flat total still trips the gate.
+			for name, ns := range s.Introspect().Snapshot().PhaseNs {
+				b.ReportMetric(float64(ns-phaseBefore[name])/float64(b.N), "ph_"+name+"_ns")
+			}
 			if total := s.ComputesRun + s.ComputesSkipped; total > 0 {
 				b.ReportMetric(float64(s.ComputesSkipped)/float64(total), "skipfrac")
 				if !mode.eager && !mode.noMemo {
@@ -797,4 +805,86 @@ func BenchmarkParkedSweep(b *testing.B) {
 			}
 		})
 	}
+}
+
+// shardedCounters sums a boundary counter across both shard registries.
+func shardedCounters(shards []*dist.Shard, name string) uint64 {
+	var n uint64
+	for _, sh := range shards {
+		n += sh.E.Introspect().Snapshot().Counters[name]
+	}
+	return n
+}
+
+// BenchmarkShardedTick is the PR 10 acceptance benchmark: the n=50000
+// commuter-world tick single-process versus split over two shard owners
+// on the loopback transport. The sharded variant reports the boundary
+// traffic per tick (bytes, frames, elided frames, external deliveries)
+// from the new flight-recorder counters — with delta encoding the bytes
+// must be sublinear in n (the slab boundary is one-dimensional), which
+// BENCH_dist.json records against the single-process wall clock.
+func BenchmarkShardedTick(b *testing.B) {
+	soak := obs.SoakConfig{N: 50000, ActiveFraction: 0.05, Seed: 1, Dmax: 3, Workers: 4}
+	const warm = 100
+
+	b.Run("1proc-4workers", func(b *testing.B) {
+		cfg := soak
+		w, mob, ids := obs.BuildSoakWorld(&cfg)
+		topo := engine.NewSpatialTopology(w, mob, cfg.DT, ids, rand.New(rand.NewSource(cfg.Seed)))
+		e := engine.New(engine.Params{Cfg: core.Config{Dmax: cfg.Dmax}, Seed: cfg.Seed, Workers: cfg.Workers}, topo)
+		e.StepTicks(warm)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Step()
+		}
+	})
+
+	b.Run("2shards-loopback-4workers", func(b *testing.B) {
+		trs := dist.NewLoopback(2)
+		cfg := dist.Config{Soak: soak, Shards: 2}
+		shards := make([]*dist.Shard, 2)
+		for i := range shards {
+			var err error
+			if shards[i], err = dist.NewShard(cfg, i, trs[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		// The peer runs the identical tick count in lockstep; the barrier
+		// makes the measured loop the wall clock of the whole 2-shard
+		// system, which is the number that compares against 1proc.
+		done := make(chan error, 1)
+		go func() {
+			for i := 0; i < warm+b.N; i++ {
+				if err := shards[1].Tick(); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+		for i := 0; i < warm; i++ {
+			if err := shards[0].Tick(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		bytesBefore := shardedCounters(shards, "boundary_bytes_sent")
+		framesBefore := shardedCounters(shards, "boundary_frames")
+		elidedBefore := shardedCounters(shards, "boundary_frames_elided")
+		extBefore := shardedCounters(shards, "ext_deliveries")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := shards[0].Tick(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if err := <-done; err != nil {
+			b.Fatal(err)
+		}
+		n := float64(b.N)
+		b.ReportMetric(float64(shardedCounters(shards, "boundary_bytes_sent")-bytesBefore)/n, "boundbytes/tick")
+		b.ReportMetric(float64(shardedCounters(shards, "boundary_frames")-framesBefore)/n, "boundframes/tick")
+		b.ReportMetric(float64(shardedCounters(shards, "boundary_frames_elided")-elidedBefore)/n, "boundelided/tick")
+		b.ReportMetric(float64(shardedCounters(shards, "ext_deliveries")-extBefore)/n, "extdeliv/tick")
+	})
 }

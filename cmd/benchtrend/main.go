@@ -15,6 +15,13 @@
 // -count N) are collapsed to their median ns/op before judging, so one
 // noisy run cannot trip the gate.
 //
+// Benchmarks that report flight-recorder per-phase timings as
+// `ph_<name>_ns` metric columns get one derived record per phase,
+// `<bench>/phase:<name>`, judged and recorded first-class (see
+// promotePhases; -phases=false disables). The per-phase gates catch a
+// regression that hides inside a flat total — one phase slowing while
+// another speeds up.
+//
 // Each benchmark is judged against a per-benchmark gate of
 // max(-max-regress, 2× its noise floor), where the floor is the relative
 // median absolute deviation of its recent history — a benchmark whose
@@ -38,6 +45,7 @@ import (
 	"os"
 	"os/exec"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -73,6 +81,7 @@ func main() {
 	noAppend := flag.Bool("check-only", false, "judge against history without appending")
 	useMedian := flag.Bool("median", false, "collapse repeated lines per benchmark (go test -count N) to their median ns/op before judging")
 	minMetric := flag.String("min-metric", "", "comma list of benchprefix:metric:floor — fail when a matching benchmark's reported metric is below floor or missing")
+	promote := flag.Bool("phases", true, "promote ph_<name>_ns metrics (flight-recorder per-phase nanoseconds) to derived <bench>/phase:<name> records, judged and recorded like benchmarks of their own")
 	flag.Parse()
 
 	floors, err := parseMetricFloors(*minMetric)
@@ -95,6 +104,9 @@ func main() {
 	}
 	if len(fresh) == 0 {
 		fatal("no benchmark result lines found")
+	}
+	if *promote {
+		fresh = promotePhases(fresh)
 	}
 	if *useMedian {
 		fresh = collapseMedian(fresh)
@@ -157,6 +169,42 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// promotePhases lifts flight-recorder per-phase timings out of the metric
+// columns into derived records. A benchmark that reports `ph_<name>_ns`
+// (per-op nanoseconds spent in engine phase <name>, from the registry's
+// PhaseNs section) yields one extra record per phase named
+// `<bench>/phase:<name>`, which then flows through median collapsing,
+// history, and the regression gate exactly like a benchmark of its own —
+// so a deliver-phase regression hidden inside a flat total still pages.
+// The promoted metrics are removed from the parent record: the phase
+// history lives on the derived lines, not duplicated in both.
+func promotePhases(recs []record) []record {
+	out := recs[:len(recs):len(recs)]
+	for i := range recs {
+		r := &recs[i]
+		var names []string
+		for unit := range r.Metrics {
+			if strings.HasPrefix(unit, "ph_") && strings.HasSuffix(unit, "_ns") && len(unit) > len("ph_")+len("_ns") {
+				names = append(names, unit)
+			}
+		}
+		sort.Strings(names) // map order is random; history order should not be
+		for _, unit := range names {
+			phase := unit[len("ph_") : len(unit)-len("_ns")]
+			out = append(out, record{
+				Bench:   r.Bench + "/phase:" + phase,
+				NsPerOp: r.Metrics[unit],
+				Iters:   r.Iters,
+			})
+			delete(r.Metrics, unit)
+		}
+		if len(r.Metrics) == 0 {
+			r.Metrics = nil
+		}
+	}
+	return out
 }
 
 // metricFloor is one -min-metric clause: every fresh benchmark whose name

@@ -28,6 +28,49 @@ func TestParseBenchMetrics(t *testing.T) {
 	}
 }
 
+func TestPromotePhases(t *testing.T) {
+	out, err := parseBench(strings.NewReader(
+		"BenchmarkParkedTick/skip-4workers-8 \t3\t144100000 ns/op\t41200000 ph_deliver_ns\t9300000 ph_advance_ns\t0.766 skipfrac\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := promotePhases(out)
+	if len(recs) != 3 {
+		t.Fatalf("promoted to %d records, want parent + 2 phases: %+v", len(recs), recs)
+	}
+	parent := recs[0]
+	if parent.Metrics["skipfrac"] != 0.766 {
+		t.Errorf("parent lost its non-phase metrics: %v", parent.Metrics)
+	}
+	if _, ok := parent.Metrics["ph_deliver_ns"]; ok {
+		t.Error("promoted phase metric still on the parent record")
+	}
+	// Derived records are appended in sorted phase order so the history
+	// file is stable run to run.
+	if recs[1].Bench != "BenchmarkParkedTick/skip-4workers/phase:advance" || recs[1].NsPerOp != 9300000 {
+		t.Errorf("derived[0] = %+v", recs[1])
+	}
+	if recs[2].Bench != "BenchmarkParkedTick/skip-4workers/phase:deliver" || recs[2].NsPerOp != 41200000 {
+		t.Errorf("derived[1] = %+v", recs[2])
+	}
+	if recs[1].Iters != 3 {
+		t.Errorf("derived record dropped the parent's iteration count: %+v", recs[1])
+	}
+	// The derived lines are first-class: judge them like any benchmark.
+	prior := []record{{NsPerOp: 9000000}, {NsPerOp: 9100000}, {NsPerOp: 9200000}}
+	if v := judge(recs[1], prior, 0.10, 3); v.kind != verdictOK {
+		t.Errorf("phase record not judged: %+v", v)
+	}
+}
+
+func TestPromotePhasesNoPhases(t *testing.T) {
+	in := []record{{Bench: "BenchmarkPlain", NsPerOp: 1000, Iters: 10}}
+	out := promotePhases(in)
+	if len(out) != 1 || out[0].Bench != "BenchmarkPlain" {
+		t.Fatalf("phase-free input changed: %+v", out)
+	}
+}
+
 func TestMetricFloors(t *testing.T) {
 	floors, err := parseMetricFloors("BenchmarkParkedTick/skip:skipfrac:0.7,BenchmarkParkedTick/skip:memofrac:0.03")
 	if err != nil {

@@ -27,6 +27,16 @@
 // Use -chaos-until to stop injecting before the run ends, leaving the
 // tail room to close the last episode.
 //
+// -shards N splits the run over N slab-owner processes (internal/dist):
+// each shard replicates the world, runs the engine over its slab, and
+// exchanges per-tick boundary deltas. -transport loopback runs every
+// shard inside this process; -transport tcp runs one shard per OS
+// process (-shard-index i -peers addr0,addr1,...), with shard 0 printing
+// the merged report. The merged run is bit-identical to -shards 1 on
+// the same scenario (requires -join 0 -leave 0, no -chaos, no
+// -duration); -fingerprint prints the end-of-run state fold that CI
+// compares across process counts.
+//
 // -introspect serves net/http/pprof and the engine's flight-recorder
 // registry as JSON for the run's lifetime; -flight-every interleaves
 // periodic flight-recorder snapshot records ("type":"flight") into the
@@ -40,8 +50,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/fault"
 	"repro/internal/introspect"
 	"repro/internal/obs"
@@ -75,6 +87,11 @@ func main() {
 	introspectAddr := flag.String("introspect", "", "serve net/http/pprof and the flight-recorder registry JSON on this address for the run's lifetime (e.g. localhost:6060)")
 	flightEvery := flag.Int("flight-every", 0, "stream a flight-recorder snapshot record into -stats every k rounds, plus one at run end (0: off; JSONL sinks only)")
 	traceWakes := flag.String("trace-wakes", "", "stream per-node wake-attribution JSONL records to this file (which skip-check gate woke each computed node, and whose traffic)")
+	shards := flag.Int("shards", 1, "split the run over this many shard owners (internal/dist); >1 requires -join 0 -leave 0 and no -chaos, and the merged run is bit-identical to -shards 1")
+	transport := flag.String("transport", "loopback", "shard transport: loopback (all shards in this process) or tcp (one process per shard; see -peers)")
+	shardIndex := flag.Int("shard-index", 0, "this process's shard under -transport tcp")
+	peers := flag.String("peers", "", "comma-separated listen addresses of all shards, index-aligned, under -transport tcp (this process listens on its own entry)")
+	fingerprint := flag.Bool("fingerprint", false, "print the end-of-run state fingerprint (fold of every node's state hash) — the cross-process bit-identity witness")
 	flag.Parse()
 
 	cfg := obs.SoakConfig{
@@ -153,7 +170,29 @@ func main() {
 		}
 	}
 
-	res, err := obs.RunSoak(cfg)
+	cfg.Fingerprint = *fingerprint
+	var res *obs.SoakResult
+	var err error
+	if *shards > 1 {
+		// Distributed run: dist.Config.Validate rejects what the split
+		// cannot carry (churn, chaos, wall-clock caps).
+		dcfg := dist.Config{Soak: cfg, Shards: *shards}
+		switch *transport {
+		case "loopback":
+			res, err = dist.RunLoopback(dcfg)
+		case "tcp":
+			if *peers == "" {
+				fmt.Fprintln(os.Stderr, "grpsoak: -transport tcp requires -peers")
+				os.Exit(2)
+			}
+			res, err = dist.RunTCP(dcfg, *shardIndex, strings.Split(*peers, ","))
+		default:
+			fmt.Fprintf(os.Stderr, "grpsoak: unknown -transport %q\n", *transport)
+			os.Exit(2)
+		}
+	} else {
+		res, err = obs.RunSoak(cfg)
+	}
 	// Close (and flush) the sinks before any exit: on a failed run the
 	// streamed tail is exactly what the operator needs.
 	if cfg.Sink != nil {
@@ -184,7 +223,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "grpsoak:", err)
 		os.Exit(1)
 	}
+	if res == nil {
+		// Non-lead shard of a TCP mesh: the lead prints the merged report.
+		return
+	}
 	fmt.Print(res.Report())
+	if *fingerprint {
+		fmt.Printf("fingerprint: %016x\n", res.Fingerprint)
+	}
 
 	// Chaos acceptance: every episode — directly injected or aftershock
 	// (an unexcused break with no fault in flight opens one too) — must

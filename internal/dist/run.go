@@ -1,0 +1,282 @@
+package dist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/ident"
+	"repro/internal/introspect"
+	"repro/internal/obs"
+)
+
+// runShard drives one shard through the whole run: Tc boundary-exchange
+// ticks per round, one sync exchange per round (shards report to the
+// lead, which observes the merged state through the tracker), and one
+// final exchange carrying the per-node state hashes and the flight
+// recorder. Only the lead (shard 0) returns a result; it is field-for-
+// field comparable with obs.RunSoak's on the same scenario — the stats
+// stream, final report and fingerprint are bit-identical, while the
+// Flight counters are per-shard sums (deliberately not conformance
+// surface: replicated work like ticks counts once per shard).
+//
+// Sink-adjacent extras of SoakConfig that RunSoak serves in-process
+// (FlightEvery, WakeTrace, IntrospectAddr, Episodes) are not distributed
+// and are ignored here.
+func runShard(cfg Config, index int, tr Transport) (*obs.SoakResult, error) {
+	sh, err := NewShard(cfg, index, tr)
+	if err != nil {
+		return nil, err
+	}
+	sh.E.TrackDirty()
+	soak := sh.Soak
+	lead := index == 0
+	var ls *leadSource
+	var tracker *obs.GroupTracker
+	if lead {
+		ls = newLeadSource(sh, &soak)
+		tracker = obs.NewGroupTrackerSource(ls)
+	}
+
+	var rs roundSync
+	var syncBuf []byte
+	out := make([][]byte, cfg.Shards)
+	res := &obs.SoakResult{}
+	safetySum, groupSum := 0.0, 0.0
+	start := time.Now()
+	var st obs.RoundStats
+
+	for r := 1; r <= soak.MaxRounds; r++ {
+		if err := sh.StepRound(); err != nil {
+			return nil, err
+		}
+		sh.collectSync(&rs)
+		for p := range out {
+			out[p] = nil
+		}
+		if !lead {
+			syncBuf = appendSync(syncBuf[:0], &rs)
+			out[0] = syncBuf
+		}
+		in, err := sh.tr.Exchange(sh.seq, out)
+		sh.seq++
+		if err != nil {
+			return nil, err
+		}
+		if !lead {
+			continue
+		}
+		ls.apply(0, &rs)
+		for p := 1; p < cfg.Shards; p++ {
+			prs, err := decodeSync(in[p])
+			if err != nil {
+				return nil, fmt.Errorf("dist: sync from shard %d: %w", p, err)
+			}
+			ls.apply(p, prs)
+		}
+		st = tracker.Observe()
+		if soak.Sink != nil {
+			if err := soak.Sink.Write(st); err != nil {
+				return nil, fmt.Errorf("dist: sink: %w", err)
+			}
+		}
+		res.Rounds++
+		if st.Converged {
+			res.ConvergedRounds++
+		}
+		if st.Agreement {
+			res.AgreementRounds++
+		}
+		if !st.Continuity {
+			res.ContinuityBreaks++
+			if st.Topological {
+				res.UnexcusedBreaks++
+			}
+		}
+		if !st.Topological {
+			res.TopologyBreaks++
+		}
+		res.ViolatingNodes += st.ContinuityViolations
+		safetySum += st.SafetyRate
+		groupSum += float64(st.Groups)
+		if soak.Progress != nil && r%soak.ProgressEvery == 0 {
+			soak.Progress(r, st)
+		}
+	}
+
+	// Final exchange: every shard ships its node hashes and flight
+	// recorder; the lead folds the fingerprint in ID order and merges the
+	// registries in shard order.
+	pairs := obs.AppendEngineHashes(nil, sh.E)
+	for p := range out {
+		out[p] = nil
+	}
+	var finalBuf []byte
+	if !lead {
+		finalBuf = appendFinal(finalBuf, pairs, sh.reg)
+		out[0] = finalBuf
+	}
+	in, err := sh.tr.Exchange(sh.seq, out)
+	sh.seq++
+	if err != nil {
+		return nil, err
+	}
+	if !lead {
+		return nil, nil
+	}
+	for p := 1; p < cfg.Shards; p++ {
+		ppairs, counters, phases, err := decodeFinal(in[p])
+		if err != nil {
+			return nil, fmt.Errorf("dist: final from shard %d: %w", p, err)
+		}
+		pairs = append(pairs, ppairs...)
+		for id, v := range counters {
+			sh.reg.Add(introspect.CounterID(id), v)
+		}
+		for ph, ns := range phases {
+			sh.reg.AddPhaseNs(introspect.Phase(ph), ns)
+		}
+	}
+	if len(pairs) != soak.N {
+		return nil, fmt.Errorf("dist: fingerprint covers %d of %d nodes", len(pairs), soak.N)
+	}
+	res.Final = st
+	res.Ticks = sh.E.Tick()
+	res.Fingerprint = obs.FoldFingerprint(pairs)
+	res.Elapsed = time.Since(start)
+	if s := res.Elapsed.Seconds(); s > 0 {
+		res.TicksPerSec = float64(res.Ticks) / s
+	}
+	if res.Rounds > 0 {
+		res.MeanSafetyRate = safetySum / float64(res.Rounds)
+		res.MeanGroups = groupSum / float64(res.Rounds)
+	}
+	res.Flight = sh.reg.Snapshot()
+	return res, nil
+}
+
+const finalMagic = 0x4746 // "GF"
+
+func appendFinal(dst []byte, pairs []obs.NodeHashPair, reg *introspect.Registry) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, finalMagic)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(pairs)))
+	for _, p := range pairs {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(p.ID))
+		dst = binary.LittleEndian.AppendUint64(dst, p.Hash)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(introspect.NumCounters))
+	for id := introspect.CounterID(0); id < introspect.NumCounters; id++ {
+		dst = binary.LittleEndian.AppendUint64(dst, reg.Get(id))
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(introspect.NumPhases))
+	for p := introspect.Phase(0); p < introspect.NumPhases; p++ {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(reg.PhaseNs(p)))
+	}
+	return dst
+}
+
+func decodeFinal(buf []byte) (pairs []obs.NodeHashPair, counters []uint64, phases []int64, err error) {
+	fail := func() ([]obs.NodeHashPair, []uint64, []int64, error) {
+		return nil, nil, nil, fmt.Errorf("dist: final report truncated or malformed")
+	}
+	if len(buf) < 6 || binary.LittleEndian.Uint16(buf) != finalMagic {
+		return fail()
+	}
+	n := binary.LittleEndian.Uint32(buf[2:])
+	buf = buf[6:]
+	if uint64(n)*12 > uint64(len(buf)) {
+		return fail()
+	}
+	pairs = make([]obs.NodeHashPair, n)
+	for i := range pairs {
+		pairs[i].ID = ident.NodeID(binary.LittleEndian.Uint32(buf))
+		pairs[i].Hash = binary.LittleEndian.Uint64(buf[4:])
+		buf = buf[12:]
+	}
+	if len(buf) < 4 {
+		return fail()
+	}
+	nc := binary.LittleEndian.Uint32(buf)
+	buf = buf[4:]
+	if nc != uint32(introspect.NumCounters) || uint64(nc)*8 > uint64(len(buf)) {
+		return fail()
+	}
+	counters = make([]uint64, nc)
+	for i := range counters {
+		counters[i] = binary.LittleEndian.Uint64(buf)
+		buf = buf[8:]
+	}
+	if len(buf) < 4 {
+		return fail()
+	}
+	np := binary.LittleEndian.Uint32(buf)
+	buf = buf[4:]
+	if np != uint32(introspect.NumPhases) || uint64(np)*8 != uint64(len(buf)) {
+		return fail()
+	}
+	phases = make([]int64, np)
+	for i := range phases {
+		phases[i] = int64(binary.LittleEndian.Uint64(buf))
+		buf = buf[8:]
+	}
+	return pairs, counters, phases, nil
+}
+
+// RunLoopback runs all shards of cfg in one process over the in-memory
+// transport and returns the lead's result.
+func RunLoopback(cfg Config) (*obs.SoakResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	trs := NewLoopback(cfg.Shards)
+	results := make([]*obs.SoakResult, cfg.Shards)
+	errs := make([]error, cfg.Shards)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = runShard(cfg, i, trs[i])
+			if errs[i] != nil {
+				// Release peers blocked on the barrier.
+				trs[i].Close()
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, tr := range trs {
+		tr.Close()
+	}
+	// Prefer the root cause over the ErrTransportClosed it cascades into.
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, ErrTransportClosed) {
+			return nil, err
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results[0], nil
+}
+
+// RunTCP runs this process's shard over a TCP mesh (one process per
+// shard, index-aligned listen addresses). The lead process (index 0)
+// returns the merged result; peers return (nil, nil) on success.
+func RunTCP(cfg Config, index int, addrs []string) (*obs.SoakResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(addrs) != cfg.Shards {
+		return nil, fmt.Errorf("dist: %d addrs for %d shards", len(addrs), cfg.Shards)
+	}
+	tr, err := DialTCP(index, addrs)
+	if err != nil {
+		return nil, err
+	}
+	defer tr.Close()
+	return runShard(cfg, index, tr)
+}

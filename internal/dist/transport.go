@@ -1,0 +1,106 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Transport is the lockstep all-to-all exchange among n shard
+// processes: every shard calls Exchange with the same sequence number
+// each round, ships out[p] to each peer p, and blocks until every
+// peer's payload for that sequence has arrived — the round barrier the
+// deterministic merge relies on.
+//
+// Contract: out[self] is ignored and in[self] is nil; returned payloads
+// are freshly allocated and owned by the caller (they may be retained
+// across rounds — the ghost cache aliases decoded frames).
+type Transport interface {
+	Exchange(seq uint64, out [][]byte) (in [][]byte, err error)
+	Close() error
+}
+
+// ErrTransportClosed reports an Exchange cut short by Close (or by a
+// peer failing and closing the shared fabric).
+var ErrTransportClosed = errors.New("dist: transport closed")
+
+// loopFabric is the shared in-memory fabric behind NewLoopback: a full
+// mesh of buffered channels. Capacity 2 is sufficient for deadlock
+// freedom — Exchange is a barrier, so no shard can run more than one
+// round ahead of the slowest, bounding the frames in flight per edge.
+type loopFabric struct {
+	n     int
+	chans [][]chan loopMsg // [from][to]
+	dead  chan struct{}
+	once  sync.Once
+}
+
+type loopMsg struct {
+	seq     uint64
+	payload []byte
+}
+
+type loopback struct {
+	fab  *loopFabric
+	self int
+}
+
+// NewLoopback builds an n-way in-memory transport and returns one
+// endpoint per shard. Closing any endpoint releases every peer blocked
+// in Exchange (so one failing shard cannot hang the rest).
+func NewLoopback(n int) []Transport {
+	fab := &loopFabric{n: n, dead: make(chan struct{})}
+	fab.chans = make([][]chan loopMsg, n)
+	for i := range fab.chans {
+		fab.chans[i] = make([]chan loopMsg, n)
+		for j := range fab.chans[i] {
+			if i != j {
+				fab.chans[i][j] = make(chan loopMsg, 2)
+			}
+		}
+	}
+	eps := make([]Transport, n)
+	for i := range eps {
+		eps[i] = &loopback{fab: fab, self: i}
+	}
+	return eps
+}
+
+func (l *loopback) Exchange(seq uint64, out [][]byte) ([][]byte, error) {
+	fab := l.fab
+	if len(out) != fab.n {
+		return nil, fmt.Errorf("dist: loopback: %d payloads for %d shards", len(out), fab.n)
+	}
+	for p := 0; p < fab.n; p++ {
+		if p == l.self {
+			continue
+		}
+		msg := loopMsg{seq: seq, payload: append([]byte(nil), out[p]...)}
+		select {
+		case fab.chans[l.self][p] <- msg:
+		case <-fab.dead:
+			return nil, ErrTransportClosed
+		}
+	}
+	in := make([][]byte, fab.n)
+	for p := 0; p < fab.n; p++ {
+		if p == l.self {
+			continue
+		}
+		select {
+		case m := <-fab.chans[p][l.self]:
+			if m.seq != seq {
+				return nil, fmt.Errorf("dist: loopback: shard %d sent seq %d, want %d", p, m.seq, seq)
+			}
+			in[p] = m.payload
+		case <-fab.dead:
+			return nil, ErrTransportClosed
+		}
+	}
+	return in, nil
+}
+
+func (l *loopback) Close() error {
+	l.fab.once.Do(func() { close(l.fab.dead) })
+	return nil
+}

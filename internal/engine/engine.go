@@ -410,6 +410,12 @@ type Engine struct {
 	// registry (radio.DropCounter channels only).
 	lastDrops uint64
 
+	// phaseMark threads the wall-clock phase boundary across the split
+	// tick (AdvancePhase → BuildPhase → FinishTick), so a distributed
+	// caller interleaving transport work between the phases still gets
+	// per-phase timings that cover only engine work.
+	phaseMark time.Time
+
 	// MessagesSent counts broadcasts; BytesSent their encoded sizes;
 	// Deliveries successful receptions. ComputesRun counts protocol
 	// computes executed; ComputesSkipped the compute boundaries satisfied
@@ -719,16 +725,53 @@ func pendingUpsert(p []senderVer, sv senderVer) ([]senderVer, bool) {
 	return p, false
 }
 
+// ExternalDelivery is one reception injected by a distributed wrapper
+// (internal/dist): a broadcast built by a remote engine, addressed to a
+// local member. Gen and Ver identify the sender's incarnation and the
+// state version the broadcast was built at — the same pair a local
+// delivery carries in its inbox signature — so the activity skip and the
+// repeat-elision work identically across the process boundary. Msg must
+// be immutable for the duration of the tick (core.Node.ReceiveRef copies
+// it into the inbox).
+type ExternalDelivery struct {
+	To   ident.NodeID
+	From ident.NodeID
+	Gen  uint64
+	Ver  uint64
+	Msg  *core.Message
+}
+
 // Step advances one tick through the five phases: advance topology, build
 // due broadcasts, arbitrate the channel, deliver receptions, run due
-// computes.
+// computes. It is exactly AdvancePhase + BuildPhase + FinishTick(nil);
+// distributed callers invoke the three parts directly and exchange
+// boundary traffic between BuildPhase and FinishTick.
 func (e *Engine) Step() {
-	// Phase 1: topology (global RNG stream). now threads the wall-clock
-	// phase boundaries into the registry's non-deterministic section —
-	// the deterministic counters below never see a clock.
-	now := time.Now()
+	e.AdvancePhase()
+	e.BuildPhase()
+	e.FinishTick(nil)
+}
+
+// AdvancePhase runs phase 1 of a tick: the topology moves on the global
+// RNG stream. Distributed callers use the split form (AdvancePhase,
+// BuildPhase, FinishTick); everyone else calls Step.
+func (e *Engine) AdvancePhase() {
+	// Phase 1: topology (global RNG stream). phaseMark threads the
+	// wall-clock phase boundaries into the registry's non-deterministic
+	// section — the deterministic counters below never see a clock.
+	e.phaseMark = time.Now()
 	e.Topo.Advance(e.rng)
-	now = e.markPhase(introspect.PhaseAdvance, now)
+	e.phaseMark = e.markPhase(introspect.PhaseAdvance, e.phaseMark)
+}
+
+// BuildPhase runs phase 2 of a tick: every member whose send timer fires
+// assembles (or revalidates) its broadcast. It returns the merged
+// transmission slate in canonical shard-major order — a read-only view
+// of engine-owned storage, valid until the next BuildPhase. The slate is
+// retained for FinishTick's arbitration; distributed callers read it to
+// route boundary copies of due broadcasts to neighboring shards.
+func (e *Engine) BuildPhase() []radio.Tx {
+	now := e.phaseMark
 
 	// Phase 2: build. The wheel hands each shard exactly its due senders
 	// in canonical order; workers draw send backoffs from their shard's
@@ -869,18 +912,55 @@ func (e *Engine) Step() {
 		e.reg.Add(introspect.CtrBytesSent, uint64(sc.bytes))
 	}
 	e.txsBuf = txs
-	now = e.markPhase(introspect.PhaseBuild, now)
+	e.phaseMark = e.markPhase(introspect.PhaseBuild, now)
+	return e.txsBuf
+}
+
+// BroadcastOf returns member v's current broadcast as the deliver phase
+// would resolve it — the (version-validated) cached message, or the
+// armed Byzantine lie — together with the (incarnation, version) pair
+// its deliveries are signed with. ok is false when v is not a member or
+// its send timer has not fired yet this run (no broadcast built). The
+// message aliases engine-owned storage: it is valid until v's next
+// rebuild and must not be mutated. Distributed wrappers call this after
+// BuildPhase to encode boundary copies of due broadcasts.
+func (e *Engine) BroadcastOf(v ident.NodeID) (m *core.Message, gen, ver uint64, ok bool) {
+	slot := e.order.SlotOf(v)
+	if slot < 0 {
+		return nil, 0, 0, false
+	}
+	rec := &e.recs[slot]
+	if rec.lie != nil {
+		return rec.lie, rec.gen, rec.lieVer, true
+	}
+	if rec.cm.ver == ^uint64(0) {
+		return nil, 0, 0, false
+	}
+	return &rec.cm.m, rec.gen, rec.cm.ver, true
+}
+
+// FinishTick runs phases 3–5 of a tick: arbitrate the channel over the
+// slate BuildPhase produced, deliver the receptions (plus any externally
+// injected ones), run due computes, and close the tick. ext carries
+// cross-process receptions from a distributed wrapper; they join the
+// local deliveries in the same partition-by-receiver-shard path,
+// including the signature upkeep and the repeat-elision. Order between
+// local and external deliveries is immaterial to the trace: receivers
+// keep one last-write-wins buffer per sender and a sender transmits at
+// most once per tick, so no receiver ever sees two deliveries from the
+// same sender in one tick. Step is FinishTick(nil).
+func (e *Engine) FinishTick(ext []ExternalDelivery) {
+	now := e.phaseMark
+	txs := e.txsBuf
 
 	if len(txs) > 0 {
 		// Phase 3: channel arbitration (global RNG stream, sequential),
 		// through the recycled delivery buffer when the channel supports
 		// it.
-		var deliveries []radio.Delivery
 		if bc, ok := e.P.Channel.(radio.BufferedChannel); ok {
 			e.delivBuf = bc.AppendDeliverSlot(txs, e.rng, e.delivBuf[:0])
-			deliveries = e.delivBuf
 		} else {
-			deliveries = e.P.Channel.DeliverSlot(txs, e.rng)
+			e.delivBuf = append(e.delivBuf[:0], e.P.Channel.DeliverSlot(txs, e.rng)...)
 		}
 		// Route the channel's suppressed-delivery count into the registry
 		// as a per-tick delta (drops only move inside DeliverSlot, so the
@@ -892,7 +972,12 @@ func (e *Engine) Step() {
 			}
 		}
 		now = e.markPhase(introspect.PhaseArbitrate, now)
+	} else {
+		e.delivBuf = e.delivBuf[:0]
+	}
+	deliveries := e.delivBuf
 
+	if len(txs) > 0 || len(ext) > 0 {
 		// Phase 4: deliver. Receptions are partitioned by receiver shard
 		// on the coordinator — with the receiver record and sender message
 		// resolved up front (the two ID→slot probes here are the radio
@@ -929,6 +1014,25 @@ func (e *Engine) Step() {
 				to:   &e.recs[toSlot],
 				msg:  msg,
 				from: senderVer{id: d.From, gen: from.gen, ver: ver},
+			})
+		}
+		// External receptions (distributed wrapper): the sender's record
+		// lives in another process, so the (gen, ver) signature arrives
+		// resolved; only the receiver is looked up locally. Appending
+		// after the local partition keeps each scratch list single-writer;
+		// within a shard the relative order is irrelevant (see above).
+		for _, x := range ext {
+			toSlot := e.order.SlotOf(x.To)
+			if toSlot < 0 {
+				continue
+			}
+			e.Deliveries++
+			delivs++
+			sc := &e.scratch[shardOf(x.To)]
+			sc.deliv = append(sc.deliv, resolvedDelivery{
+				to:   &e.recs[toSlot],
+				msg:  x.Msg,
+				from: senderVer{id: x.From, gen: x.Gen, ver: x.Ver},
 			})
 		}
 		e.reg.Add(introspect.CtrDeliveries, delivs)

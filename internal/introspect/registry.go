@@ -85,6 +85,14 @@ const (
 	CtrObsUnexcusedBreaks  // ΠC false while ΠT held
 	CtrObsViolatingNodes   // total nodes that lost a group member
 
+	// Distributed boundary exchange (internal/dist).
+	CtrBoundaryBytesSent    // encoded boundary-batch bytes shipped to peers
+	CtrBoundaryBytesRecv    // encoded boundary-batch bytes received from peers
+	CtrBoundaryFrames       // full broadcast frames shipped (ghost updates sent)
+	CtrBoundaryFramesElided // boundary entries elided to a version header (peer replays its ghost)
+	CtrGhostUpdates         // ghost replicas refreshed from a received full frame
+	CtrExtDeliveries        // receptions injected across the process boundary
+
 	// NumCounters sizes every lane.
 	NumCounters
 )
@@ -128,6 +136,13 @@ var counterNames = [NumCounters]string{
 	CtrObsTopologyBreaks:   "obs_topology_breaks",
 	CtrObsUnexcusedBreaks:  "obs_unexcused_breaks",
 	CtrObsViolatingNodes:   "obs_violating_nodes",
+
+	CtrBoundaryBytesSent:    "boundary_bytes_sent",
+	CtrBoundaryBytesRecv:    "boundary_bytes_recv",
+	CtrBoundaryFrames:       "boundary_frames",
+	CtrBoundaryFramesElided: "boundary_frames_elided",
+	CtrGhostUpdates:         "ghost_updates",
+	CtrExtDeliveries:        "ext_deliveries",
 }
 
 // String returns the counter's stable snake_case name.

@@ -91,6 +91,11 @@ type SoakConfig struct {
 	// ring; errors abort the run like sink errors. The per-cause
 	// histogram counters are always on regardless.
 	WakeTrace func(round int, w introspect.WakeRec) error
+
+	// Fingerprint computes the end-of-run state fingerprint (the fold of
+	// every node's NodeStateHash) into SoakResult.Fingerprint — the
+	// value a distributed run (internal/dist) must reproduce exactly.
+	Fingerprint bool
 }
 
 func (c *SoakConfig) normalize() {
@@ -158,6 +163,10 @@ type SoakResult struct {
 	// histogram, cache hits, drops, injections) plus the wall-clock phase
 	// timings in their separate section.
 	Flight introspect.Snapshot
+
+	// Fingerprint is the end-of-run state fingerprint (0 unless
+	// SoakConfig.Fingerprint was set).
+	Fingerprint uint64
 }
 
 // Report renders the human-readable final report.
@@ -199,12 +208,14 @@ func (r *SoakResult) Report() string {
 	return b.String()
 }
 
-// RunSoak executes one soak run. It returns an error only on sink
-// failures or counter drift; protocol-level violations are reported, not
-// fatal (the unexcused counter is the caller's assertion surface).
-func RunSoak(cfg SoakConfig) (*SoakResult, error) {
+// BuildSoakWorld constructs the soak scenario's world, mobility model
+// and initial population — the exact construction RunSoak performs, as
+// a shared seam: a distributed run (internal/dist) must replicate the
+// identical world in every shard process from the same config, so the
+// construction must live in exactly one place. It normalizes cfg in
+// place (idempotent).
+func BuildSoakWorld(cfg *SoakConfig) (*space.World, mobility.Model, []ident.NodeID) {
 	cfg.normalize()
-
 	w := space.NewWorld(cfg.Range)
 	if cfg.Urban {
 		block := math.Max(8, cfg.Side/6)
@@ -228,6 +239,16 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 	if cfg.Static {
 		mob = &mobility.Static{Side: cfg.Side}
 	}
+	return w, mob, ids
+}
+
+// RunSoak executes one soak run. It returns an error only on sink
+// failures or counter drift; protocol-level violations are reported, not
+// fatal (the unexcused counter is the caller's assertion surface).
+func RunSoak(cfg SoakConfig) (*SoakResult, error) {
+	cfg.normalize()
+
+	w, mob, ids := BuildSoakWorld(&cfg)
 	ch := cfg.Channel
 	if ch == nil && cfg.Fault != nil {
 		ch = cfg.Fault.NewChannel(nil)
@@ -381,6 +402,9 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 
 	res.Final = st
 	res.Ticks = e.Tick()
+	if cfg.Fingerprint {
+		res.Fingerprint = EngineFingerprint(e)
+	}
 	res.Elapsed = time.Since(start)
 	if s := res.Elapsed.Seconds(); s > 0 {
 		res.TicksPerSec = float64(res.Ticks) / s

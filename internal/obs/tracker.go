@@ -142,9 +142,10 @@ type pairVerdict struct {
 	mergeable bool
 }
 
-// GroupTracker incrementally observes one engine run.
+// GroupTracker incrementally observes one engine run (or, through a
+// distributed Source, one logical run spread over several engines).
 type GroupTracker struct {
-	e       *engine.Engine
+	e       Source
 	dmax    int
 	workers int
 
@@ -235,7 +236,14 @@ type regroupRes struct {
 // Observe performs a full synchronization, so a tracker may be attached
 // to an engine that has already stepped.
 func NewGroupTracker(e *engine.Engine) *GroupTracker {
-	w := e.P.Workers
+	return NewGroupTrackerSource(engineSource{e: e})
+}
+
+// NewGroupTrackerSource attaches a tracker to any Source — the seam the
+// distributed lead (internal/dist) observes its merged shard reports
+// through. Semantics are identical to NewGroupTracker.
+func NewGroupTrackerSource(src Source) *GroupTracker {
+	w := src.Workers()
 	if w > engine.NumShards {
 		w = engine.NumShards
 	}
@@ -243,8 +251,8 @@ func NewGroupTracker(e *engine.Engine) *GroupTracker {
 		w = 1
 	}
 	t := &GroupTracker{
-		e:         e,
-		dmax:      e.P.Cfg.Dmax,
+		e:         src,
+		dmax:      src.Dmax(),
 		workers:   w,
 		watchers:  make(map[ident.NodeID][]memberRef),
 		groups:    make(map[ident.NodeID]*group),
@@ -255,7 +263,7 @@ func NewGroupTracker(e *engine.Engine) *GroupTracker {
 	for i := range t.ws {
 		t.ws[i] = newWorkerScratch()
 	}
-	e.TrackDirty()
+	src.TrackDirty()
 	return t
 }
 
@@ -473,7 +481,7 @@ func (t *GroupTracker) Observe() RoundStats {
 			if st.id == ident.None || engine.ShardOf(st.id) != s {
 				continue // removed after computing, or recycled cross-shard
 			}
-			n := t.e.NodeAtSlot(slot)
+			n := t.e.ViewerAtSlot(slot)
 			if n == nil {
 				continue
 			}
@@ -690,6 +698,7 @@ func (t *GroupTracker) Observe() RoundStats {
 		reg.Add(introspect.CtrObsViolatingNodes, uint64(piCViolations))
 	}
 
+	msgs, delivs := t.e.TrafficTotals()
 	stats := RoundStats{
 		Round:                t.round,
 		Tick:                 t.e.Tick(),
@@ -707,8 +716,8 @@ func (t *GroupTracker) Observe() RoundStats {
 		ContinuityViolations: piCViolations,
 		MembershipChanges:    membership,
 		ExternalEdges:        t.nee,
-		MessagesSent:         t.e.MessagesSent,
-		Deliveries:           t.e.Deliveries,
+		MessagesSent:         msgs,
+		Deliveries:           delivs,
 	}
 	// Served from the registry (the engine samples radio.DropCounter
 	// deltas each arbitrate phase), so the record and the flight snapshot
